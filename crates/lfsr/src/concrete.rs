@@ -1,0 +1,271 @@
+//! Concrete (bit-level) LFSR simulation.
+
+use gf2::BitVec;
+
+use crate::TapSet;
+
+/// A Fibonacci LFSR: on each step the register shifts by one and bit 0
+/// receives the XOR of the tapped bits.
+///
+/// This is the PRNG inside the EFF-Dyn key selector (paper Fig. 2); the
+/// locked chip steps it on **every** clock edge — shift and capture alike.
+///
+/// # Example
+///
+/// ```
+/// use gf2::BitVec;
+/// use lfsr::{Lfsr, TapSet};
+///
+/// let taps = TapSet::new(3, vec![1, 2]).unwrap(); // the paper's 3-bit demo
+/// let mut l = Lfsr::new(taps, BitVec::from_u64(3, 0b001));
+/// l.step();
+/// // s'[0] = s[1]^s[2] = 0, s'[1] = s[0] = 1, s'[2] = s[1] = 0
+/// assert_eq!(l.state().to_bools(), vec![false, true, false]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    taps: TapSet,
+    state: BitVec,
+    steps: u64,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the given seed as initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed.len() != taps.width()`.
+    pub fn new(taps: TapSet, seed: BitVec) -> Self {
+        assert_eq!(seed.len(), taps.width(), "seed width mismatch");
+        Lfsr {
+            taps,
+            state: seed,
+            steps: 0,
+        }
+    }
+
+    /// The tap set.
+    pub fn taps(&self) -> &TapSet {
+        &self.taps
+    }
+
+    /// Current state; bit `j` drives key gate `j` in the locked chip.
+    pub fn state(&self) -> &BitVec {
+        &self.state
+    }
+
+    /// Number of steps taken since construction or the last reseed.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Reads state bit `j`.
+    pub fn bit(&self, j: usize) -> bool {
+        self.state.get(j)
+    }
+
+    /// Advances one clock.
+    pub fn step(&mut self) {
+        let feedback = self
+            .taps
+            .taps()
+            .iter()
+            .fold(false, |acc, &t| acc ^ self.state.get(t));
+        let w = self.state.len();
+        // shift up: s'[j] = s[j-1]
+        for j in (1..w).rev() {
+            let below = self.state.get(j - 1);
+            self.state.set(j, below);
+        }
+        self.state.set(0, feedback);
+        self.steps += 1;
+    }
+
+    /// Advances `n` clocks.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets to a new seed (models power-on reset of the locked chip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed width mismatches.
+    pub fn reseed(&mut self, seed: BitVec) {
+        assert_eq!(seed.len(), self.taps.width(), "seed width mismatch");
+        self.state = seed;
+        self.steps = 0;
+    }
+}
+
+/// A Galois LFSR over the same tap positions: the shifted-out bit is XORed
+/// into the tapped positions instead of the tapped positions feeding the
+/// input bit. Provided for completeness (some DOS-style implementations
+/// use the Galois form); the attack model consumes any linear update
+/// through its companion matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaloisLfsr {
+    taps: TapSet,
+    state: BitVec,
+}
+
+impl GaloisLfsr {
+    /// Creates a Galois LFSR with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed.len() != taps.width()`.
+    pub fn new(taps: TapSet, seed: BitVec) -> Self {
+        assert_eq!(seed.len(), taps.width(), "seed width mismatch");
+        GaloisLfsr { taps, state: seed }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &BitVec {
+        &self.state
+    }
+
+    /// Advances one clock: shift up; if the dropped bit (`width-1`) was
+    /// set, XOR it into every tapped position (after the shift), and into
+    /// bit 0.
+    pub fn step(&mut self) {
+        let w = self.state.len();
+        let dropped = self.state.get(w - 1);
+        for j in (1..w).rev() {
+            let below = self.state.get(j - 1);
+            self.state.set(j, below);
+        }
+        self.state.set(0, false);
+        if dropped {
+            self.state.flip(0);
+            for &t in self.taps.taps() {
+                if t != w - 1 {
+                    self.state.flip(t + 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2::{Rng64, SplitMix64};
+
+    fn taps3() -> TapSet {
+        TapSet::new(3, vec![1, 2]).unwrap()
+    }
+
+    #[test]
+    fn paper_three_bit_sequence() {
+        // Walk the 3-bit LFSR of paper Fig. 1 by hand:
+        // state (s0,s1,s2), update s0' = s1^s2, shift others.
+        let mut l = Lfsr::new(taps3(), BitVec::from_bools([true, false, false]));
+        let expected = [
+            [false, true, false],
+            [true, false, true],
+            [true, true, false],
+            [true, true, true],
+            [false, true, true],
+            [false, false, true],
+            [true, false, false], // back to the seed: period 7
+        ];
+        for (i, exp) in expected.iter().enumerate() {
+            l.step();
+            assert_eq!(l.state().to_bools(), exp.to_vec(), "step {}", i + 1);
+        }
+        assert_eq!(l.steps_taken(), 7);
+    }
+
+    #[test]
+    fn zero_state_is_fixed_point() {
+        let mut l = Lfsr::new(taps3(), BitVec::zeros(3));
+        l.run(10);
+        assert!(l.state().is_zero());
+    }
+
+    #[test]
+    fn step_matches_companion_matrix_power() {
+        let taps = TapSet::maximal(16).unwrap();
+        let a = taps.companion_matrix();
+        let mut rng = SplitMix64::new(4);
+        let seed = BitVec::random(16, &mut rng);
+        let mut l = Lfsr::new(taps, seed.clone());
+        l.run(37);
+        assert_eq!(l.state(), &a.pow(37).mul_vec(&seed));
+    }
+
+    #[test]
+    fn reseed_resets_step_count() {
+        let mut l = Lfsr::new(taps3(), BitVec::from_u64(3, 0b101));
+        l.run(5);
+        l.reseed(BitVec::from_u64(3, 0b011));
+        assert_eq!(l.steps_taken(), 0);
+        assert_eq!(l.state(), &BitVec::from_u64(3, 0b011));
+    }
+
+    #[test]
+    fn run_is_linear_in_seed() {
+        // L(s1 ^ s2) = L(s1) ^ L(s2) after any number of steps.
+        let taps = TapSet::maximal(12).unwrap();
+        let mut rng = SplitMix64::new(8);
+        let s1 = BitVec::random(12, &mut rng);
+        let s2 = BitVec::random(12, &mut rng);
+        let mut sx = s1.clone();
+        sx.xor_assign(&s2);
+        let mut l1 = Lfsr::new(taps.clone(), s1);
+        let mut l2 = Lfsr::new(taps.clone(), s2);
+        let mut lx = Lfsr::new(taps, sx);
+        for _ in 0..50 {
+            l1.step();
+            l2.step();
+            lx.step();
+        }
+        let mut sum = l1.state().clone();
+        sum.xor_assign(l2.state());
+        assert_eq!(&sum, lx.state());
+    }
+
+    #[test]
+    fn galois_step_is_invertible_walk() {
+        // A Galois LFSR with valid taps must not collapse two states: walk
+        // 1000 steps and require all distinct from a nonzero start.
+        let taps = TapSet::maximal(12).unwrap();
+        let mut g = GaloisLfsr::new(taps, BitVec::unit(12, 3));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(g.state().clone()), "state repeated early");
+            g.step();
+        }
+    }
+
+    #[test]
+    fn galois_zero_fixed_point() {
+        let taps = TapSet::maximal(8).unwrap();
+        let mut g = GaloisLfsr::new(taps, BitVec::zeros(8));
+        g.step();
+        assert!(g.state().is_zero());
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let taps = TapSet::maximal(16).unwrap();
+        let mut rng = SplitMix64::new(6);
+        let s1 = BitVec::random(16, &mut rng);
+        let mut s2 = s1.clone();
+        s2.flip(rng.gen_index(16));
+        let mut l1 = Lfsr::new(taps.clone(), s1);
+        let mut l2 = Lfsr::new(taps, s2);
+        let mut diverged = false;
+        for _ in 0..32 {
+            if l1.state() != l2.state() {
+                diverged = true;
+            }
+            l1.step();
+            l2.step();
+        }
+        assert!(diverged);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for LFSR construction.
+
+use std::fmt;
+
+/// Errors from constructing LFSR tap sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LfsrError {
+    /// Width must be at least 2.
+    WidthTooSmall {
+        /// The rejected width.
+        width: usize,
+    },
+    /// A tap position is outside `0..width`.
+    TapOutOfRange {
+        /// The offending tap.
+        tap: usize,
+        /// Register width.
+        width: usize,
+    },
+    /// The tap set must include `width - 1` so the update is invertible
+    /// (the bit shifted out must feed back).
+    NotInvertible,
+    /// Tap set is empty.
+    NoTaps,
+    /// No tap set reaching the requested period was found within the
+    /// search budget.
+    PeriodSearchFailed {
+        /// Requested minimum period.
+        min_period: u64,
+    },
+}
+
+impl fmt::Display for LfsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LfsrError::WidthTooSmall { width } => {
+                write!(f, "LFSR width {width} is too small (need ≥ 2)")
+            }
+            LfsrError::TapOutOfRange { tap, width } => {
+                write!(f, "tap {tap} out of range for width {width}")
+            }
+            LfsrError::NotInvertible => {
+                write!(f, "tap set must include width-1 for an invertible update")
+            }
+            LfsrError::NoTaps => write!(f, "tap set is empty"),
+            LfsrError::PeriodSearchFailed { min_period } => {
+                write!(f, "no tap set with period ≥ {min_period} found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LfsrError {}

@@ -1,0 +1,226 @@
+//! Seed recovery from scattered key-stream observations.
+//!
+//! If an attacker learns (or hypothesizes) the value of LFSR bit `j` at
+//! cycle `t` — for any collection of `(t, j)` pairs — each observation is
+//! one linear equation `row_j(A^t) · seed = bit`. Gaussian elimination
+//! then pins the seed once `width` independent equations accumulate.
+//!
+//! The SAT attack produces such information implicitly (the CNF the paper
+//! dumps "may reveal some of the seed bits"); this module is the explicit
+//! linear-algebra version, used by tests, by the brute-force refinement
+//! stage, and as a standalone demonstration of why per-cycle re-keying
+//! adds no entropy beyond the seed.
+
+use gf2::{BitVec, LinSolution, LinSolver, SolveError};
+
+use crate::{SymbolicLfsr, TapSet};
+
+/// One observed key-stream bit: LFSR bit `bit_index` at cycle `cycle` had
+/// value `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Cycle count after reset (0 = the seed itself).
+    pub cycle: u64,
+    /// Which state bit was observed.
+    pub bit_index: usize,
+    /// The observed value.
+    pub value: bool,
+}
+
+/// Incrementally recovers an LFSR seed from observations.
+///
+/// # Example
+///
+/// ```
+/// use gf2::BitVec;
+/// use lfsr::{Lfsr, TapSet};
+/// use lfsr::recover::{Observation, SeedRecovery};
+///
+/// let taps = TapSet::maximal(8).unwrap();
+/// let secret = BitVec::from_u64(8, 0b1011_0010);
+/// let mut chip = Lfsr::new(taps.clone(), secret.clone());
+/// let mut rec = SeedRecovery::new(taps);
+///
+/// // watch bit 0 for 8 consecutive cycles
+/// for cycle in 0..8 {
+///     rec.observe(Observation { cycle, bit_index: 0, value: chip.bit(0) }).unwrap();
+///     chip.step();
+/// }
+/// assert_eq!(rec.unique_seed(), Some(secret));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeedRecovery {
+    taps: TapSet,
+    solver: LinSolver,
+    /// Cached symbolic register, advanced monotonically; observations at
+    /// earlier cycles restart it (rare in practice).
+    sym: SymbolicLfsr,
+}
+
+impl SeedRecovery {
+    /// Starts a recovery for the given register structure (the attacker
+    /// knows the taps from reverse engineering — threat-model assumption).
+    pub fn new(taps: TapSet) -> Self {
+        SeedRecovery {
+            sym: SymbolicLfsr::new(taps.clone()),
+            solver: LinSolver::new(taps.width()),
+            taps,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] if the observation contradicts earlier ones
+    /// (meaning the observations did not come from one seed, or the tap
+    /// model is wrong).
+    pub fn observe(&mut self, obs: Observation) -> Result<bool, SolveError> {
+        let row = self.row_at(obs.cycle, obs.bit_index);
+        self.solver.add_equation(row, obs.value)
+    }
+
+    /// Number of independent equations gathered so far.
+    pub fn rank(&self) -> usize {
+        self.solver.rank()
+    }
+
+    /// Number of seed candidates still consistent (`2^nullity`), saturated
+    /// at `u128::MAX`.
+    pub fn candidate_count(&self) -> u128 {
+        self.solution().count()
+    }
+
+    /// The affine solution set.
+    pub fn solution(&self) -> LinSolution {
+        self.solver
+            .solve()
+            .expect("solver state is consistent by construction")
+    }
+
+    /// The seed, if uniquely determined.
+    pub fn unique_seed(&self) -> Option<BitVec> {
+        let sol = self.solution();
+        sol.nullspace.is_empty().then_some(sol.particular)
+    }
+
+    /// Enumerates up to `cap` candidate seeds.
+    pub fn candidates(&self, cap: usize) -> Vec<BitVec> {
+        self.solution().enumerate(cap)
+    }
+
+    fn row_at(&mut self, cycle: u64, bit_index: usize) -> BitVec {
+        assert!(bit_index < self.taps.width(), "bit index out of range");
+        if self.sym.steps_taken() > cycle {
+            self.sym = SymbolicLfsr::new(self.taps.clone());
+        }
+        self.sym.run(cycle - self.sym.steps_taken());
+        self.sym.row(bit_index).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lfsr;
+    use gf2::{Rng64, SplitMix64};
+
+    fn watch(
+        taps: &TapSet,
+        secret: &BitVec,
+        cycles: impl IntoIterator<Item = (u64, usize)>,
+    ) -> SeedRecovery {
+        let mut rec = SeedRecovery::new(taps.clone());
+        let mut chip = Lfsr::new(taps.clone(), secret.clone());
+        let mut obs: Vec<(u64, usize)> = cycles.into_iter().collect();
+        obs.sort_unstable();
+        for (cycle, bit) in obs {
+            chip.run(cycle - chip.steps_taken());
+            rec.observe(Observation {
+                cycle,
+                bit_index: bit,
+                value: chip.bit(bit),
+            })
+            .expect("honest observations are consistent");
+        }
+        rec
+    }
+
+    #[test]
+    fn consecutive_bit0_observations_pin_seed() {
+        let taps = TapSet::maximal(16).unwrap();
+        let secret = BitVec::from_u64(16, 0xBEEF);
+        let rec = watch(&taps, &secret, (0..16).map(|c| (c, 0)));
+        assert_eq!(rec.unique_seed(), Some(secret));
+    }
+
+    #[test]
+    fn scattered_observations_also_work() {
+        let taps = TapSet::maximal(12).unwrap();
+        let mut rng = SplitMix64::new(7);
+        let secret = BitVec::random(12, &mut rng);
+        // random (cycle, bit) pairs; 30 of them almost surely span 12 dims
+        let obs: Vec<(u64, usize)> = (0..30)
+            .map(|_| (rng.gen_range(200), rng.gen_index(12)))
+            .collect();
+        let rec = watch(&taps, &secret, obs);
+        assert_eq!(rec.unique_seed(), Some(secret));
+    }
+
+    #[test]
+    fn underdetermined_keeps_true_seed_among_candidates() {
+        let taps = TapSet::maximal(10).unwrap();
+        let secret = BitVec::from_u64(10, 0b11_0110_0101 & 0x3FF);
+        let rec = watch(&taps, &secret, (0..6).map(|c| (c, 0)));
+        assert!(rec.unique_seed().is_none());
+        assert_eq!(rec.candidate_count(), 1 << 4);
+        let cands = rec.candidates(1 << 10);
+        assert!(cands.contains(&secret));
+    }
+
+    #[test]
+    fn contradiction_is_reported() {
+        let taps = TapSet::maximal(8).unwrap();
+        let mut rec = SeedRecovery::new(taps);
+        rec.observe(Observation { cycle: 0, bit_index: 3, value: true })
+            .unwrap();
+        let err = rec.observe(Observation { cycle: 0, bit_index: 3, value: false });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn duplicate_observation_is_dependent() {
+        let taps = TapSet::maximal(8).unwrap();
+        let mut rec = SeedRecovery::new(taps);
+        assert!(rec
+            .observe(Observation { cycle: 5, bit_index: 2, value: true })
+            .unwrap());
+        assert!(!rec
+            .observe(Observation { cycle: 5, bit_index: 2, value: true })
+            .unwrap());
+        assert_eq!(rec.rank(), 1);
+    }
+
+    #[test]
+    fn out_of_order_cycles_allowed() {
+        let taps = TapSet::maximal(10).unwrap();
+        let secret = BitVec::from_u64(10, 0x2A5 & 0x3FF);
+        // descending cycle order forces the symbolic register restart path
+        let mut rec = SeedRecovery::new(taps.clone());
+        let mut chip = Lfsr::new(taps, secret.clone());
+        let mut values = Vec::new();
+        for c in 0..10u64 {
+            values.push(chip.bit(0));
+            chip.step();
+        }
+        for c in (0..10u64).rev() {
+            rec.observe(Observation {
+                cycle: c,
+                bit_index: 0,
+                value: values[c as usize],
+            })
+            .unwrap();
+        }
+        assert_eq!(rec.unique_seed(), Some(secret));
+    }
+}

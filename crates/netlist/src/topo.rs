@@ -1,0 +1,132 @@
+//! Topological ordering and levelization of the combinational core.
+//!
+//! DFFs cut the graph: a flop's Q pin is a *source* (like a primary input)
+//! and its D pin is a *sink* (like a primary output). Only paths through
+//! combinational gates count for ordering and loop detection.
+
+use crate::circuit::{Circuit, Driver};
+use crate::NetlistError;
+
+/// Computes a topological order of gate indices (Kahn's algorithm).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] naming one net on a cycle if
+/// the combinational core is cyclic.
+pub fn topo_order(circuit: &Circuit) -> Result<Vec<usize>, NetlistError> {
+    let n = circuit.gates.len();
+    // in-degree = number of inputs driven by other gates
+    let mut indeg = vec![0usize; n];
+    // adjacency: gate -> gates that consume its output
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (gi, gate) in circuit.gates.iter().enumerate() {
+        for &inp in &gate.inputs {
+            if let Driver::Gate(src) = circuit.drivers[inp.index()] {
+                indeg[gi] += 1;
+                consumers[src].push(gi);
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&g| indeg[g] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(g) = queue.pop() {
+        order.push(g);
+        for &c in &consumers[g] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if order.len() != n {
+        // find a gate still blocked => on (or downstream of) a cycle
+        let blocked = (0..n)
+            .find(|&g| indeg[g] > 0)
+            .expect("some gate must remain blocked when order is incomplete");
+        return Err(NetlistError::CombinationalLoop {
+            net: circuit.net_name(circuit.gates[blocked].output).to_string(),
+        });
+    }
+    Ok(order)
+}
+
+/// Computes the logic level of every net: inputs/flop outputs are level 0,
+/// a gate's output is one more than its deepest input. Indexed by
+/// [`NetId::index`](crate::NetId::index).
+///
+/// # Panics
+///
+/// Panics if the circuit's stored topological order is stale (cannot happen
+/// for circuits built through [`CircuitBuilder`](crate::CircuitBuilder)).
+pub fn levelize(circuit: &Circuit) -> Vec<usize> {
+    let mut level = vec![0usize; circuit.num_nets()];
+    for &gi in &circuit.topo_order {
+        let gate = &circuit.gates[gi];
+        let l = gate
+            .inputs
+            .iter()
+            .map(|i| level[i.index()])
+            .max()
+            .unwrap_or(0);
+        level[gate.output.index()] = l + 1;
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn levels_of_chain() {
+        let mut b = CircuitBuilder::new("chain");
+        let x = b.input("x");
+        let a = b.gate(GateKind::Not, &[x], "a");
+        let c = b.gate(GateKind::Not, &[a], "c");
+        let d = b.gate(GateKind::Not, &[c], "d");
+        b.output(d);
+        let circ = b.finish().unwrap();
+        let lv = super::levelize(&circ);
+        assert_eq!(lv[x.index()], 0);
+        assert_eq!(lv[a.index()], 1);
+        assert_eq!(lv[c.index()], 2);
+        assert_eq!(lv[d.index()], 3);
+    }
+
+    #[test]
+    fn level_takes_max_of_inputs() {
+        let mut b = CircuitBuilder::new("m");
+        let x = b.input("x");
+        let y = b.input("y");
+        let deep = b.gate(GateKind::Not, &[x], "d1");
+        let deep2 = b.gate(GateKind::Not, &[deep], "d2");
+        let z = b.gate(GateKind::And, &[deep2, y], "z");
+        b.output(z);
+        let circ = b.finish().unwrap();
+        let lv = super::levelize(&circ);
+        assert_eq!(lv[z.index()], 3);
+    }
+
+    #[test]
+    fn flop_outputs_are_sources() {
+        let mut b = CircuitBuilder::new("ff");
+        let q = b.net("q");
+        let nq = b.gate(GateKind::Not, &[q], "nq");
+        b.dff_into(nq, q);
+        b.output(nq);
+        let circ = b.finish().unwrap();
+        let lv = super::levelize(&circ);
+        assert_eq!(lv[q.index()], 0);
+        assert_eq!(lv[nq.index()], 1);
+    }
+
+    #[test]
+    fn empty_circuit_topo() {
+        let mut b = CircuitBuilder::new("empty");
+        let x = b.input("x");
+        b.output(x);
+        let circ = b.finish().unwrap();
+        assert!(circ.topo_gates().is_empty());
+        assert_eq!(super::levelize(&circ)[x.index()], 0);
+    }
+}

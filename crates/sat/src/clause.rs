@@ -1,0 +1,238 @@
+//! Clause arena storage.
+//!
+//! All clauses live in one flat `Vec<u32>`. A clause is addressed by the
+//! offset of its header ([`ClauseRef`]) and laid out as:
+//!
+//! ```text
+//! [len] [flags: learnt|deleted] [activity f32 bits] [lit 0] [lit 1] ...
+//! ```
+//!
+//! Deletion marks the header; [`ClauseDb::compact`] rebuilds the arena and
+//! returns the relocation map so the solver can fix watch lists and
+//! reasons.
+
+use crate::types::Lit;
+
+const FLAG_LEARNT: u32 = 1;
+const FLAG_DELETED: u32 = 2;
+const HEADER_WORDS: usize = 3;
+
+/// Reference to a clause in the arena (offset of its header word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+/// The clause arena.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    data: Vec<u32>,
+    /// Live (non-deleted) clause count by class.
+    pub(crate) num_original: usize,
+    pub(crate) num_learnt: usize,
+    /// Words wasted by deleted clauses (compaction trigger).
+    pub(crate) wasted: usize,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    /// Allocates a clause; caller guarantees `lits.len() >= 2`.
+    pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "arena clauses have at least 2 literals");
+        let cref = ClauseRef(self.data.len() as u32);
+        self.data.push(lits.len() as u32);
+        self.data.push(if learnt { FLAG_LEARNT } else { 0 });
+        self.data.push(0f32.to_bits());
+        self.data.extend(lits.iter().map(|l| l.0));
+        if learnt {
+            self.num_learnt += 1;
+        } else {
+            self.num_original += 1;
+        }
+        cref
+    }
+
+    pub(crate) fn len(&self, c: ClauseRef) -> usize {
+        self.data[c.0 as usize] as usize
+    }
+
+    pub(crate) fn lit(&self, c: ClauseRef, i: usize) -> Lit {
+        debug_assert!(i < self.len(c));
+        Lit(self.data[c.0 as usize + HEADER_WORDS + i])
+    }
+
+    pub(crate) fn set_lit(&mut self, c: ClauseRef, i: usize, l: Lit) {
+        debug_assert!(i < self.len(c));
+        self.data[c.0 as usize + HEADER_WORDS + i] = l.0;
+    }
+
+    pub(crate) fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+        let base = c.0 as usize + HEADER_WORDS;
+        self.data.swap(base + i, base + j);
+    }
+
+    pub(crate) fn lits(&self, c: ClauseRef) -> &[u32] {
+        let base = c.0 as usize;
+        let len = self.data[base] as usize;
+        &self.data[base + HEADER_WORDS..base + HEADER_WORDS + len]
+    }
+
+    pub(crate) fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.data[c.0 as usize + 1] & FLAG_LEARNT != 0
+    }
+
+    pub(crate) fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.data[c.0 as usize + 1] & FLAG_DELETED != 0
+    }
+
+    /// Marks a clause deleted (space reclaimed at the next [`compact`]).
+    ///
+    /// [`compact`]: ClauseDb::compact
+    pub(crate) fn delete(&mut self, c: ClauseRef) {
+        debug_assert!(!self.is_deleted(c));
+        self.data[c.0 as usize + 1] |= FLAG_DELETED;
+        self.wasted += HEADER_WORDS + self.len(c);
+        if self.is_learnt(c) {
+            self.num_learnt -= 1;
+        } else {
+            self.num_original -= 1;
+        }
+    }
+
+    pub(crate) fn activity(&self, c: ClauseRef) -> f32 {
+        f32::from_bits(self.data[c.0 as usize + 2])
+    }
+
+    pub(crate) fn set_activity(&mut self, c: ClauseRef, a: f32) {
+        self.data[c.0 as usize + 2] = a.to_bits();
+    }
+
+    /// Total arena words (for memory accounting).
+    pub(crate) fn arena_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterates over all live clause refs.
+    pub(crate) fn iter_refs(&self) -> ClauseIter<'_> {
+        ClauseIter { db: self, pos: 0 }
+    }
+
+    /// Rebuilds the arena dropping deleted clauses. Calls `relocate` with
+    /// `(old, new)` for every surviving clause so the solver can remap
+    /// watches and reasons.
+    pub(crate) fn compact(&mut self, mut relocate: impl FnMut(ClauseRef, ClauseRef)) {
+        let mut new_data = Vec::with_capacity(self.data.len() - self.wasted);
+        let mut pos = 0usize;
+        while pos < self.data.len() {
+            let len = self.data[pos] as usize;
+            let total = HEADER_WORDS + len;
+            let deleted = self.data[pos + 1] & FLAG_DELETED != 0;
+            if !deleted {
+                let new_ref = ClauseRef(new_data.len() as u32);
+                new_data.extend_from_slice(&self.data[pos..pos + total]);
+                relocate(ClauseRef(pos as u32), new_ref);
+            }
+            pos += total;
+        }
+        self.data = new_data;
+        self.wasted = 0;
+    }
+}
+
+pub(crate) struct ClauseIter<'a> {
+    db: &'a ClauseDb,
+    pos: usize,
+}
+
+impl Iterator for ClauseIter<'_> {
+    type Item = ClauseRef;
+
+    fn next(&mut self) -> Option<ClauseRef> {
+        while self.pos < self.db.data.len() {
+            let cref = ClauseRef(self.pos as u32);
+            let len = self.db.data[self.pos] as usize;
+            self.pos += HEADER_WORDS + len;
+            if !self.db.is_deleted(cref) {
+                return Some(cref);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(codes: &[i64]) -> Vec<Lit> {
+        codes.iter().map(|&c| Lit::from_dimacs(c)).collect()
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(&lits(&[1, -2, 3]), false);
+        let c2 = db.alloc(&lits(&[-1, 2]), true);
+        assert_eq!(db.len(c1), 3);
+        assert_eq!(db.len(c2), 2);
+        assert_eq!(db.lit(c1, 1), Lit::negative(Var(1)));
+        assert!(!db.is_learnt(c1));
+        assert!(db.is_learnt(c2));
+        assert_eq!(db.num_original, 1);
+        assert_eq!(db.num_learnt, 1);
+    }
+
+    #[test]
+    fn swap_and_set() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&lits(&[1, 2, 3]), false);
+        db.swap_lits(c, 0, 2);
+        assert_eq!(db.lit(c, 0).to_dimacs(), 3);
+        assert_eq!(db.lit(c, 2).to_dimacs(), 1);
+        db.set_lit(c, 1, Lit::from_dimacs(-5));
+        assert_eq!(db.lit(c, 1).to_dimacs(), -5);
+    }
+
+    #[test]
+    fn activity_storage() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&lits(&[1, 2]), true);
+        db.set_activity(c, 3.5);
+        assert_eq!(db.activity(c), 3.5);
+    }
+
+    #[test]
+    fn delete_and_compact_remaps() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(&lits(&[1, 2]), false);
+        let c2 = db.alloc(&lits(&[3, 4, 5]), true);
+        let c3 = db.alloc(&lits(&[-1, -2]), true);
+        db.delete(c2);
+        assert_eq!(db.num_learnt, 1);
+        let mut map = std::collections::HashMap::new();
+        db.compact(|old, new| {
+            map.insert(old, new);
+        });
+        assert_eq!(map.len(), 2);
+        let n1 = map[&c1];
+        let n3 = map[&c3];
+        assert_eq!(db.len(n1), 2);
+        assert_eq!(db.lit(n3, 0).to_dimacs(), -1);
+        assert_eq!(db.wasted, 0);
+        // iteration sees exactly the survivors
+        assert_eq!(db.iter_refs().count(), 2);
+    }
+
+    #[test]
+    fn iter_skips_deleted() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[1, 2]), false);
+        let b = db.alloc(&lits(&[2, 3]), false);
+        let c = db.alloc(&lits(&[3, 4]), false);
+        db.delete(b);
+        let seen: Vec<ClauseRef> = db.iter_refs().collect();
+        assert_eq!(seen, vec![a, c]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Indexed binary max-heap ordered by variable activity (VSIDS order).
+
+/// Max-heap over variable indices keyed by an external activity array.
+///
+/// Supports decrease/increase-key via the dense `position` map, which is
+/// what VSIDS needs: bumping a variable's activity must float it up
+/// without a full rebuild.
+#[derive(Debug, Default)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `position[v]` = index in `heap`, or `usize::MAX` when absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    pub(crate) fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Registers a new variable id (not inserted yet).
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        self.position.resize(num_vars, ABSENT);
+    }
+
+    pub(crate) fn contains(&self, v: usize) -> bool {
+        self.position[v] != ABSENT
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `v` if absent.
+    pub(crate) fn insert(&mut self, v: usize, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.position[v] = self.heap.len();
+        self.heap.push(v as u32);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub(crate) fn pop(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let last = self.heap.pop().expect("nonempty");
+        self.position[top] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub(crate) fn update(&mut self, v: usize, activity: &[f64]) {
+        let pos = self.position[v];
+        if pos != ABSENT {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i] as usize] = i;
+        self.position[self.heap[j] as usize] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(4);
+        for v in 0..4 {
+            h.insert(v, &activity);
+        }
+        assert_eq!(h.pop(&activity), Some(1));
+        assert_eq!(h.pop(&activity), Some(3));
+        assert_eq!(h.pop(&activity), Some(2));
+        assert_eq!(h.pop(&activity), Some(0));
+        assert_eq!(h.pop(&activity), None);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(2);
+        h.insert(0, &activity);
+        h.insert(0, &activity);
+        assert_eq!(h.pop(&activity), Some(0));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn update_after_bump_floats_up() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow_to(3);
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        h.update(0, &activity);
+        assert_eq!(h.pop(&activity), Some(0));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        h.grow_to(1);
+        assert!(!h.contains(0));
+        h.insert(0, &activity);
+        assert!(h.contains(0));
+        h.pop(&activity);
+        assert!(!h.contains(0));
+    }
+}

@@ -1,0 +1,46 @@
+//! The oracle interface the attack talks to.
+
+/// What comes back from one scan test session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanResponse {
+    /// Values shifted out of the chain, indexed by chain position.
+    pub scan_out: Vec<bool>,
+    /// Primary-output values observed during the (last) capture cycle.
+    pub po: Vec<bool>,
+}
+
+/// Scan test access to a chip — the *only* interface the attacker has to
+/// the oracle (a functional IC on their bench).
+///
+/// One [`query`](ScanAccess::query) is a complete powered session:
+/// power-on reset (which restarts any on-chip PRNG), `num_cells` shift-in
+/// cycles, one capture cycle with the given primary inputs, and
+/// `num_cells` shift-out cycles. That session structure is what makes the
+/// DynUnlock combinational model exact: every query sees the same key
+/// schedule.
+///
+/// Implemented by the honest [`ScanChip`](crate::ScanChip) and by the
+/// locked chip in the `scanlock` crate.
+pub trait ScanAccess {
+    /// Scan chain length.
+    fn num_cells(&self) -> usize;
+
+    /// Number of primary inputs.
+    fn num_pis(&self) -> usize;
+
+    /// Number of primary outputs.
+    fn num_pos(&self) -> usize;
+
+    /// A full session with `captures` capture cycles between shift-in and
+    /// shift-out (primary inputs held constant across captures).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `captures == 0` or vector lengths are wrong.
+    fn query_captures(&mut self, pattern: &[bool], pis: &[bool], captures: usize) -> ScanResponse;
+
+    /// A standard single-capture session.
+    fn query(&mut self, pattern: &[bool], pis: &[bool]) -> ScanResponse {
+        self.query_captures(pattern, pis, 1)
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the DynUnlock reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; it re-exports every member crate so examples and
+//! integration tests can reach the whole stack through one dependency.
+//!
+//! See the individual crates for the real functionality:
+//!
+//! * [`dynunlock`] — the attack (the paper's contribution)
+//! * [`scanlock`] — the EFF / DOS / EFF-Dyn defenses and the locked-chip oracle
+//! * [`netlist`], [`sim`], [`lfsr`], [`satsolver`], [`cnf`], [`gf2`] — substrates
+
+pub use cnf;
+pub use duharness;
+pub use dynunlock;
+pub use gf2;
+pub use lfsr;
+pub use netlist;
+pub use satsolver;
+pub use scanlock;
+pub use sim;
