@@ -1,1 +1,65 @@
-fn main() {}
+//! Micro-benchmarks of the substrate components: GF(2) algebra, LFSR
+//! stepping and seed recovery, netlist simulation, and SAT solving.
+
+use bench::{pigeonhole, planted_3sat, run};
+use gf2::{BitMatrix, BitVec, Xoshiro256};
+use lfsr::recover::{Observation, SeedRecovery};
+use lfsr::{Lfsr, TapSet};
+use netlist::generator::s208_like;
+use sim::Evaluator;
+
+fn main() {
+    // GF(2): dense 256×256 matrix product and rank.
+    let mut rng = Xoshiro256::new(0xC0FFEE);
+    let a = BitMatrix::random(256, 256, &mut rng);
+    let b = BitMatrix::random(256, 256, &mut rng);
+    run("gf2/mul_256x256", 50, || a.mul(&b));
+    run("gf2/rank_256x256", 50, || a.rank());
+
+    // LFSR: 10k steps of a 64-bit maximal register.
+    let taps = TapSet::maximal(64).expect("64 is tabulated");
+    let seed = BitVec::from_u64(64, 0xDEAD_BEEF_1234_5678);
+    run("lfsr/step_10k_w64", 50, || {
+        let mut l = Lfsr::new(taps.clone(), seed.clone());
+        l.run(10_000);
+        l.state().clone()
+    });
+
+    // LFSR seed recovery from 64 single-bit observations.
+    run("lfsr/recover_w64", 20, || {
+        let mut chip = Lfsr::new(taps.clone(), seed.clone());
+        let mut rec = SeedRecovery::new(taps.clone());
+        for cycle in 0..64 {
+            rec.observe(Observation {
+                cycle,
+                bit_index: 0,
+                value: chip.bit(0),
+            })
+            .expect("consistent observations");
+            chip.step();
+        }
+        rec.unique_seed().expect("full-rank system")
+    });
+
+    // Simulation: one combinational sweep of the s208-like circuit.
+    let circuit = s208_like();
+    let pis = vec![true; circuit.inputs().len()];
+    let state = vec![false; circuit.num_dffs()];
+    let mut ev = Evaluator::new(&circuit);
+    run("sim/eval_s208_like", 2_000, || {
+        ev.eval(&pis, &state);
+        ev.output_values()
+    });
+
+    // SAT: a planted (satisfiable) 3-SAT instance and a pigeonhole proof.
+    let sat_inst = planted_3sat(150, 600, 7);
+    run("sat/planted_3sat_150v", 20, || {
+        let (mut s, _) = sat_inst.to_solver();
+        s.solve()
+    });
+    let unsat_inst = pigeonhole(7, 6);
+    run("sat/pigeonhole_7_6", 20, || {
+        let (mut s, _) = unsat_inst.to_solver();
+        s.solve()
+    });
+}

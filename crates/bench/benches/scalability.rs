@@ -1,1 +1,61 @@
-fn main() {}
+//! Scaling sweeps: circuit generation and simulation cost as the netlist
+//! grows, and SAT solve time as the instance grows. These are the knobs
+//! the paper's key-size and benchmark-size sweeps turn.
+
+use bench::{pigeonhole, planted_3sat, run};
+use gf2::{Rng64, Xoshiro256};
+use netlist::generator::GeneratorConfig;
+use sim::Evaluator;
+
+fn main() {
+    // Circuit generation + 100 random input sweeps at growing gate counts.
+    for &gates in &[500usize, 2_000, 8_000] {
+        let cfg = GeneratorConfig::new(format!("scale{gates}"), 32, 32, gates / 10, gates)
+            .with_seed(gates as u64);
+        run(&format!("netlist/generate_{gates}g"), 10, || cfg.generate());
+
+        let circuit = cfg.generate();
+        let mut rng = Xoshiro256::new(1);
+        let stimuli: Vec<(Vec<bool>, Vec<bool>)> = (0..100)
+            .map(|_| {
+                let pis = (0..circuit.inputs().len())
+                    .map(|_| rng.next_u64() & 1 == 1)
+                    .collect();
+                let st = (0..circuit.num_dffs())
+                    .map(|_| rng.next_u64() & 1 == 1)
+                    .collect();
+                (pis, st)
+            })
+            .collect();
+        let mut ev = Evaluator::new(&circuit);
+        run(&format!("sim/eval100_{gates}g"), 10, || {
+            let mut ones = 0usize;
+            for (pis, st) in &stimuli {
+                ev.eval(pis, st);
+                ones += ev.output_values().iter().filter(|&&b| b).count();
+            }
+            ones
+        });
+    }
+
+    // SAT solve time at growing planted-instance sizes. The clause/var
+    // ratio 4 sits near the 3-SAT phase transition, so effort grows
+    // steeply; 200 vars already costs tens of milliseconds and 400 costs
+    // ~15 s on this solver, so the sweep stops at 200.
+    for &vars in &[50usize, 100, 200] {
+        let inst = planted_3sat(vars, vars * 4, 42);
+        run(&format!("sat/planted_3sat_{vars}v"), 10, || {
+            let (mut s, _) = inst.to_solver();
+            s.solve()
+        });
+    }
+
+    // UNSAT proof effort at growing pigeonhole sizes.
+    for &holes in &[5usize, 6, 7] {
+        let inst = pigeonhole(holes + 1, holes);
+        run(&format!("sat/pigeonhole_{}_{holes}", holes + 1), 5, || {
+            let (mut s, _) = inst.to_solver();
+            s.solve()
+        });
+    }
+}

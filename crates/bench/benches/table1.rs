@@ -1,1 +1,40 @@
-fn main() {}
+//! Table I substrate: build every paper benchmark profile and measure
+//! netlist construction plus one full simulation sweep. The profiles pin
+//! the paper's published interface sizes (scan flops, PI/PO counts); see
+//! DESIGN.md §4 for the synthetic-netlist substitution.
+
+use bench::run;
+use netlist::profiles::PAPER_BENCHMARKS;
+use sim::Evaluator;
+
+fn main() {
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>7}",
+        "bench", "PI", "PO", "flops", "gates"
+    );
+    for p in &PAPER_BENCHMARKS {
+        let c = p.build(0);
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>7}",
+            p.name,
+            c.inputs().len(),
+            c.outputs().len(),
+            c.num_dffs(),
+            c.num_gates()
+        );
+    }
+    println!();
+
+    for p in &PAPER_BENCHMARKS {
+        run(&format!("table1/build_{}", p.name), 5, || p.build(0));
+
+        let c = p.build(0);
+        let pis = vec![false; c.inputs().len()];
+        let state = vec![false; c.num_dffs()];
+        let mut ev = Evaluator::new(&c);
+        run(&format!("table1/eval_{}", p.name), 20, || {
+            ev.eval(&pis, &state);
+            (ev.output_values(), ev.next_state())
+        });
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared support for the hand-rolled benchmarks in `benches/`.
+//!
+//! Every bench target is declared `harness = false`, so each one is a
+//! plain binary whose `main` times its cases with [`run`] and prints one
+//! line per case. No external benchmark harness is used (the workspace is
+//! dependency-free); numbers are wall-clock medians over a fixed
+//! iteration count, which is plenty for the trend comparisons the paper's
+//! tables call for (DESIGN.md §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use gf2::{Rng64, Xoshiro256};
+use satsolver::dimacs::Cnf;
+use satsolver::Lit;
+
+/// Timing summary for one benchmark case.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Iterations timed (after one untimed warm-up).
+    pub iters: u32,
+    /// Median per-iteration wall-clock time.
+    pub median: Duration,
+    /// Total wall-clock time across all timed iterations.
+    pub total: Duration,
+}
+
+/// Times `f` over `iters` iterations (plus one untimed warm-up), prints a
+/// one-line summary, and returns the sample.
+///
+/// The closure's return value is passed through [`std::hint::black_box`]
+/// so the computation cannot be optimized away.
+pub fn run<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Sample {
+    assert!(iters > 0, "need at least one iteration");
+    std::hint::black_box(f()); // warm-up
+    let mut times: Vec<Duration> = Vec::with_capacity(iters as usize);
+    let total_start = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed());
+    }
+    let total = total_start.elapsed();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!("{name:<40} {iters:>5} iters   median {median:>12?}   total {total:>12?}");
+    Sample {
+        iters,
+        median,
+        total,
+    }
+}
+
+/// A random 3-SAT instance with a *planted* satisfying assignment: every
+/// clause is forced to agree with a hidden random model in at least one
+/// literal, so the instance is SAT by construction.
+pub fn planted_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+    assert!(num_vars >= 3);
+    let mut rng = Xoshiro256::new(seed);
+    let model: Vec<bool> = (0..num_vars).map(|_| rng.next_u64() & 1 == 1).collect();
+    let mut cnf = Cnf::new(num_vars);
+    while cnf.clauses.len() < num_clauses {
+        let mut vars = [0usize; 3];
+        vars[0] = rng.next_u64() as usize % num_vars;
+        while {
+            vars[1] = rng.next_u64() as usize % num_vars;
+            vars[1] == vars[0]
+        } {}
+        while {
+            vars[2] = rng.next_u64() as usize % num_vars;
+            vars[2] == vars[0] || vars[2] == vars[1]
+        } {}
+        let mut clause: Vec<i64> = vars
+            .iter()
+            .map(|&v| {
+                let positive = rng.next_u64() & 1 == 1;
+                if positive {
+                    (v + 1) as i64
+                } else {
+                    -((v + 1) as i64)
+                }
+            })
+            .collect();
+        // Plant: flip one literal's sign if none agrees with the model.
+        if !clause
+            .iter()
+            .any(|&code| model[code.unsigned_abs() as usize - 1] == (code > 0))
+        {
+            let k = rng.next_u64() as usize % 3;
+            clause[k] = -clause[k];
+        }
+        cnf.add_clause(
+            clause
+                .iter()
+                .map(|&code| Lit::from_dimacs(code))
+                .collect::<Vec<Lit>>(),
+        );
+    }
+    cnf
+}
+
+/// The pigeonhole principle instance `PHP(pigeons, holes)`: UNSAT whenever
+/// `pigeons > holes`, and a classic resolution-hard driver for clause
+/// learning.
+pub fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+    let lit = |p: usize, h: usize, positive: bool| {
+        let code = (p * holes + h + 1) as i64;
+        Lit::from_dimacs(if positive { code } else { -code })
+    };
+    let mut cnf = Cnf::new(pigeons * holes);
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| lit(p, h, true)).collect::<Vec<Lit>>());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                cnf.add_clause(vec![lit(p1, h, false), lit(p2, h, false)]);
+            }
+        }
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satsolver::SolveResult;
+
+    #[test]
+    fn planted_instances_are_sat() {
+        for seed in 0..3 {
+            let inst = planted_3sat(50, 210, seed);
+            assert_eq!(inst.clauses.len(), 210);
+            let (mut s, _) = inst.to_solver();
+            assert_eq!(s.solve(), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_status_matches_counts() {
+        let (mut unsat, _) = pigeonhole(5, 4).to_solver();
+        assert_eq!(unsat.solve(), SolveResult::Unsat);
+        let (mut sat, _) = pigeonhole(4, 4).to_solver();
+        assert_eq!(sat.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn run_reports_requested_iters() {
+        let s = run("selftest/noop", 3, || 1 + 1);
+        assert_eq!(s.iters, 3);
+    }
+}

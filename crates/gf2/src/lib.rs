@@ -38,4 +38,4 @@ mod solve;
 pub use bitvec::BitVec;
 pub use matrix::BitMatrix;
 pub use rng::{Rng64, SplitMix64, Xoshiro256};
-pub use solve::{LinSolution, LinSolver, SolveError};
+pub use solve::{solve_system, LinSolution, LinSolver, SolveError};

@@ -232,10 +232,10 @@ impl BitMatrix {
             inv.rows.swap(col, p);
             let pivot_row = work[col].clone();
             let pivot_inv = inv.rows[col].clone();
-            for r in 0..n {
-                if r != col && work[r].get(col) {
-                    work[r].xor_assign(&pivot_row);
-                    inv.rows[r].xor_assign(&pivot_inv);
+            for (r, (wrow, irow)) in work.iter_mut().zip(inv.rows.iter_mut()).enumerate() {
+                if r != col && wrow.get(col) {
+                    wrow.xor_assign(&pivot_row);
+                    irow.xor_assign(&pivot_inv);
                 }
             }
         }
@@ -275,7 +275,7 @@ impl fmt::Display for BitMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Rng64, Xoshiro256};
+    use crate::Xoshiro256;
 
     fn random_square(n: usize, seed: u64) -> BitMatrix {
         let mut rng = Xoshiro256::new(seed);

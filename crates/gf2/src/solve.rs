@@ -130,7 +130,10 @@ pub struct LinSolver {
 impl LinSolver {
     /// Creates a solver over `vars` unknowns.
     pub fn new(vars: usize) -> Self {
-        LinSolver { vars, rows: Vec::new() }
+        LinSolver {
+            vars,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of unknowns.
@@ -225,8 +228,8 @@ impl LinSolver {
             }
         }
         let mut nullspace = Vec::with_capacity(self.nullity());
-        for free in 0..self.vars {
-            if is_pivot[free] {
+        for (free, &pivot) in is_pivot.iter().enumerate() {
+            if pivot {
                 continue;
             }
             let mut basis = BitVec::zeros(self.vars);
@@ -239,7 +242,10 @@ impl LinSolver {
             }
             nullspace.push(basis);
         }
-        Ok(LinSolution { particular, nullspace })
+        Ok(LinSolution {
+            particular,
+            nullspace,
+        })
     }
 }
 
@@ -263,8 +269,12 @@ mod tests {
     fn unique_solution() {
         // x0 ^ x1 = 1, x1 = 1 => x0 = 0
         let mut s = LinSolver::new(2);
-        assert!(s.add_equation(BitVec::from_bools([true, true]), true).unwrap());
-        assert!(s.add_equation(BitVec::from_bools([false, true]), true).unwrap());
+        assert!(s
+            .add_equation(BitVec::from_bools([true, true]), true)
+            .unwrap());
+        assert!(s
+            .add_equation(BitVec::from_bools([false, true]), true)
+            .unwrap());
         let sol = s.solve().unwrap();
         assert_eq!(sol.particular.to_bools(), vec![false, true]);
         assert_eq!(sol.count(), 1);
@@ -275,8 +285,10 @@ mod tests {
     #[test]
     fn dependent_equation_reports_false() {
         let mut s = LinSolver::new(3);
-        s.add_equation(BitVec::from_bools([true, true, false]), true).unwrap();
-        s.add_equation(BitVec::from_bools([false, true, true]), false).unwrap();
+        s.add_equation(BitVec::from_bools([true, true, false]), true)
+            .unwrap();
+        s.add_equation(BitVec::from_bools([false, true, true]), false)
+            .unwrap();
         // sum of the two
         let dep = s
             .add_equation(BitVec::from_bools([true, false, true]), true)
@@ -288,7 +300,8 @@ mod tests {
     #[test]
     fn contradiction_detected_and_state_preserved() {
         let mut s = LinSolver::new(2);
-        s.add_equation(BitVec::from_bools([true, false]), true).unwrap();
+        s.add_equation(BitVec::from_bools([true, false]), true)
+            .unwrap();
         let err = s.add_equation(BitVec::from_bools([true, false]), false);
         assert_eq!(err, Err(SolveError));
         assert_eq!(s.rank(), 1);
@@ -351,7 +364,8 @@ mod tests {
     #[test]
     fn contains_rejects_non_solution() {
         let mut s = LinSolver::new(3);
-        s.add_equation(BitVec::from_bools([true, false, false]), true).unwrap();
+        s.add_equation(BitVec::from_bools([true, false, false]), true)
+            .unwrap();
         let sol = s.solve().unwrap();
         let mut bad = sol.particular.clone();
         bad.flip(0);

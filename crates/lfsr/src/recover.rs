@@ -182,9 +182,17 @@ mod tests {
     fn contradiction_is_reported() {
         let taps = TapSet::maximal(8).unwrap();
         let mut rec = SeedRecovery::new(taps);
-        rec.observe(Observation { cycle: 0, bit_index: 3, value: true })
-            .unwrap();
-        let err = rec.observe(Observation { cycle: 0, bit_index: 3, value: false });
+        rec.observe(Observation {
+            cycle: 0,
+            bit_index: 3,
+            value: true,
+        })
+        .unwrap();
+        let err = rec.observe(Observation {
+            cycle: 0,
+            bit_index: 3,
+            value: false,
+        });
         assert!(err.is_err());
     }
 
@@ -193,10 +201,18 @@ mod tests {
         let taps = TapSet::maximal(8).unwrap();
         let mut rec = SeedRecovery::new(taps);
         assert!(rec
-            .observe(Observation { cycle: 5, bit_index: 2, value: true })
+            .observe(Observation {
+                cycle: 5,
+                bit_index: 2,
+                value: true
+            })
             .unwrap());
         assert!(!rec
-            .observe(Observation { cycle: 5, bit_index: 2, value: true })
+            .observe(Observation {
+                cycle: 5,
+                bit_index: 2,
+                value: true
+            })
             .unwrap());
         assert_eq!(rec.rank(), 1);
     }
@@ -209,7 +225,7 @@ mod tests {
         let mut rec = SeedRecovery::new(taps.clone());
         let mut chip = Lfsr::new(taps, secret.clone());
         let mut values = Vec::new();
-        for c in 0..10u64 {
+        for _ in 0..10u64 {
             values.push(chip.bit(0));
             chip.step();
         }

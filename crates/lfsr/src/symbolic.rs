@@ -130,11 +130,7 @@ mod tests {
             let mut conc = Lfsr::new(taps.clone(), seed.clone());
             for t in 0..100 {
                 for j in 0..16 {
-                    assert_eq!(
-                        sym.row(j).dot(&seed),
-                        conc.bit(j),
-                        "bit {j} at cycle {t}"
-                    );
+                    assert_eq!(sym.row(j).dot(&seed), conc.bit(j), "bit {j} at cycle {t}");
                 }
                 sym.step();
                 conc.step();

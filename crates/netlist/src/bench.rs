@@ -83,7 +83,9 @@ fn parse_line(b: &mut CircuitBuilder, line: &str) -> Result<(), String> {
     }
     let rhs = line[eq + 1..].trim();
     let Some(open) = rhs.find('(') else {
-        return Err(format!("expected `GATE(...)` on right-hand side, got `{rhs}`"));
+        return Err(format!(
+            "expected `GATE(...)` on right-hand side, got `{rhs}`"
+        ));
     };
     let kind_str = rhs[..open].trim();
     let args = parse_parens(&rhs[open..])?;
@@ -125,7 +127,10 @@ fn parse_parens(s: &str) -> Result<Vec<&str>, String> {
         return Err("missing `)`".into());
     };
     if !s[close + 1..].trim().is_empty() {
-        return Err(format!("trailing characters after `)`: `{}`", &s[close + 1..]));
+        return Err(format!(
+            "trailing characters after `)`: `{}`",
+            &s[close + 1..]
+        ));
     }
     let inner = &s[1..close];
     if inner.trim().is_empty() {
@@ -230,8 +235,7 @@ G17 = NOR(G14, G1)
                 .gates()
                 .iter()
                 .map(|g| {
-                    let mut ins: Vec<&str> =
-                        g.inputs.iter().map(|&n| c.net_name(n)).collect();
+                    let mut ins: Vec<&str> = g.inputs.iter().map(|&n| c.net_name(n)).collect();
                     ins.sort_unstable();
                     format!("{}={}({})", c.net_name(g.output), g.kind, ins.join(","))
                 })

@@ -232,7 +232,10 @@ mod tests {
         b.gate_into(GateKind::Not, &[bnet], a);
         b.output(a);
         let err = b.finish().unwrap_err();
-        assert!(matches!(err, NetlistError::CombinationalLoop { .. }), "{err}");
+        assert!(
+            matches!(err, NetlistError::CombinationalLoop { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -243,7 +246,12 @@ mod tests {
         let z = b.gate(GateKind::And, &[x, ghost], "z");
         b.output(z);
         let err = b.finish().unwrap_err();
-        assert_eq!(err, NetlistError::UndrivenNet { net: "ghost".into() });
+        assert_eq!(
+            err,
+            NetlistError::UndrivenNet {
+                net: "ghost".into()
+            }
+        );
     }
 
     #[test]

@@ -96,8 +96,12 @@ impl GeneratorConfig {
         let mut rng = Xoshiro256::new(self.seed);
         let mut b = CircuitBuilder::new(self.name.clone());
 
-        let pis: Vec<NetId> = (0..self.num_inputs).map(|i| b.input(format!("pi{i}"))).collect();
-        let qs: Vec<NetId> = (0..self.num_dffs).map(|i| b.net(format!("ff{i}"))).collect();
+        let pis: Vec<NetId> = (0..self.num_inputs)
+            .map(|i| b.input(format!("pi{i}")))
+            .collect();
+        let qs: Vec<NetId> = (0..self.num_dffs)
+            .map(|i| b.net(format!("ff{i}")))
+            .collect();
 
         // Sources every gate may read. Grows as gates are created.
         let mut pool: Vec<NetId> = pis.iter().chain(qs.iter()).copied().collect();
@@ -255,11 +259,11 @@ pub fn counter(n: usize) -> Circuit {
     let en = b.input("en");
     let qs: Vec<NetId> = (0..n).map(|i| b.net(format!("q{i}"))).collect();
     let mut carry = en;
-    for i in 0..n {
-        let d = b.gate(GateKind::Xor, &[qs[i], carry], format!("d{i}"));
-        b.dff_into(d, qs[i]);
+    for (i, &q) in qs.iter().enumerate() {
+        let d = b.gate(GateKind::Xor, &[q, carry], format!("d{i}"));
+        b.dff_into(d, q);
         if i + 1 < n {
-            carry = b.gate(GateKind::And, &[carry, qs[i]], format!("c{i}"));
+            carry = b.gate(GateKind::And, &[carry, q], format!("c{i}"));
         }
     }
     let msb = qs[n - 1];
@@ -283,7 +287,9 @@ mod tests {
 
     #[test]
     fn interface_sizes_match_config() {
-        let c = GeneratorConfig::new("i", 9, 5, 17, 80).with_seed(3).generate();
+        let c = GeneratorConfig::new("i", 9, 5, 17, 80)
+            .with_seed(3)
+            .generate();
         assert_eq!(c.inputs().len(), 9);
         assert_eq!(c.outputs().len(), 5);
         assert_eq!(c.num_dffs(), 17);
@@ -292,7 +298,9 @@ mod tests {
 
     #[test]
     fn all_sources_are_consumed() {
-        let c = GeneratorConfig::new("s", 7, 2, 12, 60).with_seed(5).generate();
+        let c = GeneratorConfig::new("s", 7, 2, 12, 60)
+            .with_seed(5)
+            .generate();
         let mut used = vec![false; c.num_nets()];
         for g in c.gates() {
             for inp in &g.inputs {
@@ -312,7 +320,9 @@ mod tests {
 
     #[test]
     fn flop_inputs_are_gate_outputs() {
-        let c = GeneratorConfig::new("f", 4, 2, 8, 40).with_seed(9).generate();
+        let c = GeneratorConfig::new("f", 4, 2, 8, 40)
+            .with_seed(9)
+            .generate();
         for dff in c.dffs() {
             assert!(c.driving_gate(dff.d).is_some(), "D input must be logic");
         }
@@ -321,20 +331,26 @@ mod tests {
     #[test]
     fn generated_circuits_validate() {
         for seed in 0..5 {
-            let c = GeneratorConfig::new("v", 5, 4, 20, 100).with_seed(seed).generate();
+            let c = GeneratorConfig::new("v", 5, 4, 20, 100)
+                .with_seed(seed)
+                .generate();
             c.validate().expect("generated circuit must validate");
         }
     }
 
     #[test]
     fn gate_count_raised_when_too_small() {
-        let c = GeneratorConfig::new("r", 10, 2, 10, 1).with_seed(0).generate();
+        let c = GeneratorConfig::new("r", 10, 2, 10, 1)
+            .with_seed(0)
+            .generate();
         assert!(c.num_gates() >= 20, "gates raised to cover sources");
     }
 
     #[test]
     fn roundtrips_through_bench_format() {
-        let c = GeneratorConfig::new("rt", 6, 3, 9, 45).with_seed(2).generate();
+        let c = GeneratorConfig::new("rt", 6, 3, 9, 45)
+            .with_seed(2)
+            .generate();
         let text = crate::bench::write(&c);
         let c2 = crate::bench::parse("rt", &text).unwrap();
         assert_eq!(c.num_gates(), c2.num_gates());

@@ -39,16 +39,86 @@ pub struct BenchmarkProfile {
 
 /// The ten benchmarks of Table II, in the paper's row order.
 pub const PAPER_BENCHMARKS: [BenchmarkProfile; 10] = [
-    BenchmarkProfile { name: "s5378", suite: Suite::Iscas89, scan_flops: 160, inputs: 35, outputs: 49, gates: 1700 },
-    BenchmarkProfile { name: "s13207", suite: Suite::Iscas89, scan_flops: 202, inputs: 62, outputs: 152, gates: 2100 },
-    BenchmarkProfile { name: "s15850", suite: Suite::Iscas89, scan_flops: 442, inputs: 77, outputs: 150, gates: 2800 },
-    BenchmarkProfile { name: "s38584", suite: Suite::Iscas89, scan_flops: 1233, inputs: 38, outputs: 304, gates: 6500 },
-    BenchmarkProfile { name: "s38417", suite: Suite::Iscas89, scan_flops: 1564, inputs: 28, outputs: 106, gates: 7200 },
-    BenchmarkProfile { name: "s35932", suite: Suite::Iscas89, scan_flops: 1728, inputs: 35, outputs: 320, gates: 6800 },
-    BenchmarkProfile { name: "b20", suite: Suite::Itc99, scan_flops: 429, inputs: 32, outputs: 22, gates: 4200 },
-    BenchmarkProfile { name: "b21", suite: Suite::Itc99, scan_flops: 429, inputs: 32, outputs: 22, gates: 4200 },
-    BenchmarkProfile { name: "b22", suite: Suite::Itc99, scan_flops: 611, inputs: 32, outputs: 22, gates: 5600 },
-    BenchmarkProfile { name: "b17", suite: Suite::Itc99, scan_flops: 864, inputs: 37, outputs: 97, gates: 5200 },
+    BenchmarkProfile {
+        name: "s5378",
+        suite: Suite::Iscas89,
+        scan_flops: 160,
+        inputs: 35,
+        outputs: 49,
+        gates: 1700,
+    },
+    BenchmarkProfile {
+        name: "s13207",
+        suite: Suite::Iscas89,
+        scan_flops: 202,
+        inputs: 62,
+        outputs: 152,
+        gates: 2100,
+    },
+    BenchmarkProfile {
+        name: "s15850",
+        suite: Suite::Iscas89,
+        scan_flops: 442,
+        inputs: 77,
+        outputs: 150,
+        gates: 2800,
+    },
+    BenchmarkProfile {
+        name: "s38584",
+        suite: Suite::Iscas89,
+        scan_flops: 1233,
+        inputs: 38,
+        outputs: 304,
+        gates: 6500,
+    },
+    BenchmarkProfile {
+        name: "s38417",
+        suite: Suite::Iscas89,
+        scan_flops: 1564,
+        inputs: 28,
+        outputs: 106,
+        gates: 7200,
+    },
+    BenchmarkProfile {
+        name: "s35932",
+        suite: Suite::Iscas89,
+        scan_flops: 1728,
+        inputs: 35,
+        outputs: 320,
+        gates: 6800,
+    },
+    BenchmarkProfile {
+        name: "b20",
+        suite: Suite::Itc99,
+        scan_flops: 429,
+        inputs: 32,
+        outputs: 22,
+        gates: 4200,
+    },
+    BenchmarkProfile {
+        name: "b21",
+        suite: Suite::Itc99,
+        scan_flops: 429,
+        inputs: 32,
+        outputs: 22,
+        gates: 4200,
+    },
+    BenchmarkProfile {
+        name: "b22",
+        suite: Suite::Itc99,
+        scan_flops: 611,
+        inputs: 32,
+        outputs: 22,
+        gates: 5600,
+    },
+    BenchmarkProfile {
+        name: "b17",
+        suite: Suite::Itc99,
+        scan_flops: 864,
+        inputs: 37,
+        outputs: 97,
+        gates: 5200,
+    },
 ];
 
 /// The three largest benchmarks used for the key-size sweep of Table III.
@@ -73,14 +143,17 @@ impl BenchmarkProfile {
     pub fn config(&self, variant: u64) -> GeneratorConfig {
         // Fold the profile name into the seed so same-size profiles (b20 /
         // b21) still get distinct netlists.
-        let name_hash: u64 = self
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
-        GeneratorConfig::new(self.name, self.inputs, self.outputs, self.scan_flops, self.gates)
-            .with_seed(name_hash ^ variant.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        let name_hash: u64 = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+        GeneratorConfig::new(
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.scan_flops,
+            self.gates,
+        )
+        .with_seed(name_hash ^ variant.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// A proportionally shrunken copy (for quick CI-scale runs). Flop and

@@ -1,0 +1,470 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The standard interchange format for SAT instances: a `p cnf <vars>
+//! <clauses>` header followed by whitespace-separated literal lists, each
+//! clause terminated by `0`. Comment lines start with `c`; a trailing `%`
+//! section (as emitted by some SATLIB generators) is tolerated.
+//!
+//! # Example
+//!
+//! ```
+//! use satsolver::dimacs::Cnf;
+//! use satsolver::SolveResult;
+//!
+//! let cnf = Cnf::parse("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+//! let (mut solver, vars) = cnf.to_solver();
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(vars[1]), Some(true));
+//! assert_eq!(Cnf::parse(&cnf.to_dimacs()).unwrap(), cnf);
+//! ```
+
+use std::fmt;
+
+use crate::types::{Lit, Var};
+use crate::Solver;
+
+/// Largest variable count a formula may declare: literals pack the
+/// variable index and sign into one `u32` (`var << 1 | negated`), so
+/// DIMACS variable numbers above `2^31` would silently wrap.
+pub const MAX_VARS: usize = (u32::MAX >> 1) as usize + 1;
+
+/// A CNF formula held as plain clause lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (indices `0..num_vars`); may exceed the highest
+    /// variable that actually occurs.
+    pub num_vars: usize,
+    /// The clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Appends a clause, growing `num_vars` to cover its literals.
+    pub fn add_clause(&mut self, lits: impl Into<Vec<Lit>>) {
+        let lits = lits.into();
+        for l in &lits {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(lits);
+    }
+
+    /// Whether `assignment` (indexed by variable) satisfies every clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < self.num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars, "assignment too short");
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] == l.is_positive())
+        })
+    }
+
+    /// Parses DIMACS CNF text.
+    ///
+    /// The header is required. Fewer clauses than the header promises is an
+    /// error; extra clauses are an error too. Literals must stay within the
+    /// declared variable count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DimacsError`] encountered.
+    pub fn parse(input: &str) -> Result<Cnf, DimacsError> {
+        let mut header: Option<(usize, usize)> = None;
+        let mut cnf = Cnf::default();
+        let mut current: Vec<Lit> = Vec::new();
+        let mut done = false;
+
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if line.starts_with('%') {
+                done = true; // SATLIB end-of-file marker
+                continue;
+            }
+            if done {
+                // Tolerate the conventional lone "0" after the '%' marker.
+                if line == "0" {
+                    continue;
+                }
+                return Err(DimacsError::TrailingContent { line: lineno + 1 });
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                if header.is_some() {
+                    return Err(DimacsError::DuplicateHeader { line: lineno + 1 });
+                }
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                let parsed = match fields.as_slice() {
+                    ["cnf", v, c] => v.parse::<usize>().ok().zip(c.parse::<usize>().ok()),
+                    _ => None,
+                };
+                match parsed {
+                    Some((v, _)) if v > MAX_VARS => {
+                        return Err(DimacsError::TooManyVariables {
+                            line: lineno + 1,
+                            vars: v,
+                        });
+                    }
+                    Some((v, c)) => header = Some((v, c)),
+                    None => return Err(DimacsError::BadHeader { line: lineno + 1 }),
+                }
+                cnf.num_vars = header.expect("just set").0;
+                continue;
+            }
+            let (num_vars, num_clauses) = match header {
+                Some(h) => h,
+                None => return Err(DimacsError::MissingHeader { line: lineno + 1 }),
+            };
+            for tok in line.split_whitespace() {
+                let code: i64 = tok.parse().map_err(|_| DimacsError::BadLiteral {
+                    line: lineno + 1,
+                    token: tok.to_string(),
+                })?;
+                if code == 0 {
+                    if cnf.clauses.len() == num_clauses {
+                        return Err(DimacsError::TooManyClauses { line: lineno + 1 });
+                    }
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    let var = code.unsigned_abs() as usize;
+                    if var > num_vars {
+                        return Err(DimacsError::VariableOutOfRange {
+                            line: lineno + 1,
+                            var,
+                            num_vars,
+                        });
+                    }
+                    current.push(Lit::from_dimacs(code));
+                }
+            }
+        }
+
+        let (_, num_clauses) = header.ok_or(DimacsError::MissingHeader { line: 1 })?;
+        if !current.is_empty() {
+            return Err(DimacsError::UnterminatedClause);
+        }
+        if cnf.clauses.len() != num_clauses {
+            return Err(DimacsError::ClauseCountMismatch {
+                declared: num_clauses,
+                found: cnf.clauses.len(),
+            });
+        }
+        Ok(cnf)
+    }
+
+    /// Renders the formula as DIMACS CNF text (inverse of [`Cnf::parse`]).
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("p cnf {} {}\n", self.num_vars, self.clauses.len()));
+        for c in &self.clauses {
+            for l in c {
+                out.push_str(&format!("{} ", l.to_dimacs()));
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Builds a fresh [`Solver`] loaded with this formula. Returns the
+    /// solver and the [`Var`] handles, where `vars[i]` is DIMACS variable
+    /// `i + 1`.
+    pub fn to_solver(&self) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| s.new_var()).collect();
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        (s, vars)
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dimacs())
+    }
+}
+
+/// Errors produced by [`Cnf::parse`]. Line numbers are 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// Clause data appeared before any `p cnf` header.
+    MissingHeader {
+        /// Offending line.
+        line: usize,
+    },
+    /// A second `p` line appeared.
+    DuplicateHeader {
+        /// Offending line.
+        line: usize,
+    },
+    /// A `p` line that is not `p cnf <vars> <clauses>`.
+    BadHeader {
+        /// Offending line.
+        line: usize,
+    },
+    /// A token that is not an integer literal.
+    BadLiteral {
+        /// Offending line.
+        line: usize,
+        /// The unparsable token.
+        token: String,
+    },
+    /// The header declares more variables than the packed literal
+    /// representation supports ([`MAX_VARS`]).
+    TooManyVariables {
+        /// Offending line.
+        line: usize,
+        /// The header's variable count.
+        vars: usize,
+    },
+    /// A literal references a variable above the header's count.
+    VariableOutOfRange {
+        /// Offending line.
+        line: usize,
+        /// The out-of-range (1-based) variable.
+        var: usize,
+        /// The header's variable count.
+        num_vars: usize,
+    },
+    /// More clauses than the header declared.
+    TooManyClauses {
+        /// Offending line.
+        line: usize,
+    },
+    /// Fewer clauses than the header declared.
+    ClauseCountMismatch {
+        /// Clause count from the header.
+        declared: usize,
+        /// Clauses actually read.
+        found: usize,
+    },
+    /// The file ended inside a clause (missing terminating `0`).
+    UnterminatedClause,
+    /// Non-comment content after the `%` end marker.
+    TrailingContent {
+        /// Offending line.
+        line: usize,
+    },
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::MissingHeader { line } => {
+                write!(f, "line {line}: clause data before 'p cnf' header")
+            }
+            DimacsError::DuplicateHeader { line } => {
+                write!(f, "line {line}: duplicate 'p' header")
+            }
+            DimacsError::BadHeader { line } => {
+                write!(
+                    f,
+                    "line {line}: malformed header (expected 'p cnf <vars> <clauses>')"
+                )
+            }
+            DimacsError::BadLiteral { line, token } => {
+                write!(f, "line {line}: bad literal token {token:?}")
+            }
+            DimacsError::TooManyVariables { line, vars } => {
+                write!(
+                    f,
+                    "line {line}: header declares {vars} variables, more than the supported {MAX_VARS}"
+                )
+            }
+            DimacsError::VariableOutOfRange {
+                line,
+                var,
+                num_vars,
+            } => {
+                write!(
+                    f,
+                    "line {line}: variable {var} exceeds declared count {num_vars}"
+                )
+            }
+            DimacsError::TooManyClauses { line } => {
+                write!(f, "line {line}: more clauses than the header declared")
+            }
+            DimacsError::ClauseCountMismatch { declared, found } => {
+                write!(f, "header declared {declared} clauses but file has {found}")
+            }
+            DimacsError::UnterminatedClause => write!(f, "file ends inside a clause (no '0')"),
+            DimacsError::TrailingContent { line } => {
+                write!(f, "line {line}: content after '%' end marker")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_rejects_oversized_variable_count() {
+        // 2^32 + 1 would wrap to variable 1 in the packed representation.
+        let err = Cnf::parse("p cnf 4294967297 1\n4294967297 0\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DimacsError::TooManyVariables {
+                    line: 1,
+                    vars: 4_294_967_297
+                }
+            ),
+            "got {err:?}"
+        );
+        // The largest representable count is accepted.
+        let cnf = Cnf::parse(&format!("p cnf {MAX_VARS} 1\n{MAX_VARS} 0\n")).unwrap();
+        assert_eq!(cnf.num_vars, MAX_VARS);
+        assert_eq!(cnf.clauses[0][0].var().index(), MAX_VARS - 1);
+    }
+
+    #[test]
+    fn parse_simple() {
+        let cnf = Cnf::parse("c comment\np cnf 3 2\n1 -2 3 0\n-1 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].len(), 3);
+        assert_eq!(cnf.clauses[0][1], Lit::from_dimacs(-2));
+    }
+
+    #[test]
+    fn parse_multiline_clause() {
+        let cnf = Cnf::parse("p cnf 4 1\n1 2\n3 4 0\n").unwrap();
+        assert_eq!(cnf.clauses[0].len(), 4);
+    }
+
+    #[test]
+    fn parse_empty_clause() {
+        let cnf = Cnf::parse("p cnf 1 1\n0\n").unwrap();
+        assert!(cnf.clauses[0].is_empty());
+        let (mut s, _) = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn parse_satlib_percent_footer() {
+        let cnf = Cnf::parse("p cnf 2 1\n1 -2 0\n%\n0\n\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut cnf = Cnf::new(5);
+        cnf.add_clause(vec![Lit::from_dimacs(1), Lit::from_dimacs(-3)]);
+        cnf.add_clause(vec![Lit::from_dimacs(-5)]);
+        cnf.add_clause(Vec::new());
+        let text = cnf.to_dimacs();
+        let back = Cnf::parse(&text).unwrap();
+        assert_eq!(back, cnf);
+        // And rendering again is a fixpoint.
+        assert_eq!(back.to_dimacs(), text);
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let cnf = Cnf::parse("p cnf 3 2\n-1 2 0\n3 0\n").unwrap();
+        assert_eq!(Cnf::parse(&cnf.to_string()).unwrap(), cnf);
+    }
+
+    #[test]
+    fn error_missing_header() {
+        assert_eq!(
+            Cnf::parse("1 2 0\n"),
+            Err(DimacsError::MissingHeader { line: 1 })
+        );
+    }
+
+    #[test]
+    fn error_bad_header() {
+        assert_eq!(
+            Cnf::parse("p cnf x 2\n"),
+            Err(DimacsError::BadHeader { line: 1 })
+        );
+    }
+
+    #[test]
+    fn error_duplicate_header() {
+        assert_eq!(
+            Cnf::parse("p cnf 1 0\np cnf 1 0\n"),
+            Err(DimacsError::DuplicateHeader { line: 2 })
+        );
+    }
+
+    #[test]
+    fn error_bad_literal() {
+        let err = Cnf::parse("p cnf 2 1\n1 two 0\n").unwrap_err();
+        assert!(matches!(err, DimacsError::BadLiteral { line: 2, .. }));
+    }
+
+    #[test]
+    fn error_variable_out_of_range() {
+        let err = Cnf::parse("p cnf 2 1\n1 -9 0\n").unwrap_err();
+        assert_eq!(
+            err,
+            DimacsError::VariableOutOfRange {
+                line: 2,
+                var: 9,
+                num_vars: 2
+            }
+        );
+    }
+
+    #[test]
+    fn error_clause_count_mismatch() {
+        let err = Cnf::parse("p cnf 2 3\n1 0\n").unwrap_err();
+        assert_eq!(
+            err,
+            DimacsError::ClauseCountMismatch {
+                declared: 3,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn error_too_many_clauses() {
+        let err = Cnf::parse("p cnf 2 1\n1 0\n2 0\n").unwrap_err();
+        assert_eq!(err, DimacsError::TooManyClauses { line: 3 });
+    }
+
+    #[test]
+    fn error_unterminated_clause() {
+        assert_eq!(
+            Cnf::parse("p cnf 2 1\n1 2\n"),
+            Err(DimacsError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let err = Cnf::parse("p cnf 2 1\n1 two 0\n").unwrap_err();
+        assert!(err.to_string().contains("bad literal"));
+    }
+
+    #[test]
+    fn solve_parsed_instance() {
+        // (a ∨ b) ∧ (¬a ∨ b) ∧ (¬b ∨ c) forces b and c.
+        let cnf = Cnf::parse("p cnf 3 3\n1 2 0\n-1 2 0\n-2 3 0\n").unwrap();
+        let (mut s, vars) = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(vars[1]), Some(true));
+        assert_eq!(s.value(vars[2]), Some(true));
+        let model: Vec<bool> = vars.iter().map(|&v| s.value(v).unwrap()).collect();
+        assert!(cnf.eval(&model));
+    }
+}

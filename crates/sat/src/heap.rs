@@ -29,6 +29,7 @@ impl VarHeap {
         self.position[v] != ABSENT
     }
 
+    #[cfg(test)]
     pub(crate) fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

@@ -1,0 +1,998 @@
+//! The CDCL search core.
+//!
+//! Architecture follows MiniSat 2.2: a trail-based backtracking search with
+//! two-watched-literal propagation, first-UIP clause learning, VSIDS
+//! branching, phase saving, Luby restarts and activity-driven learnt-clause
+//! database reduction. Clauses live in the [`ClauseDb`] arena; watch lists
+//! and reasons hold [`ClauseRef`] handles and are remapped when the arena
+//! compacts.
+
+use std::collections::HashMap;
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::types::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] / [`Solver::solve_assuming`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula is unsatisfiable (under the assumptions, if any were
+    /// given).
+    Unsat,
+}
+
+/// Work counters accumulated over the lifetime of a [`Solver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation or decision (trail pushes).
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses added (including unit learnts).
+    pub learnt_clauses: u64,
+    /// Literals removed from learnt clauses by reason-side minimization.
+    pub minimized_literals: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+/// A watch-list entry: the watched clause plus a cached *blocker* literal
+/// from the same clause. If the blocker is already true the clause cannot
+/// be unit, and propagation skips it without touching the arena.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f32 = 0.999;
+const VAR_RESCALE: f64 = 1e100;
+const CLA_RESCALE: f32 = 1e20;
+const RESTART_BASE: u64 = 100;
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the crate-level documentation for the feature set and an example.
+/// The solver is incremental: clauses may be added between `solve` calls
+/// and each call may carry its own assumptions.
+#[derive(Debug, Default)]
+pub struct Solver {
+    db: ClauseDb,
+    /// Watch lists indexed by `lit.index()`: clauses to inspect when `lit`
+    /// becomes **true** (they watch `¬lit`).
+    watches: Vec<Vec<Watch>>,
+    /// Current assignment, per variable.
+    assigns: Vec<LBool>,
+    /// Saved polarity, per variable (phase saving).
+    phase: Vec<bool>,
+    /// Implying clause, per assigned variable (`None` for decisions,
+    /// assumptions and top-level units).
+    reason: Vec<Option<ClauseRef>>,
+    /// Decision level of the assignment, per assigned variable.
+    level: Vec<u32>,
+    /// Assignment stack in chronological order.
+    trail: Vec<Lit>,
+    /// `trail` index where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next `trail` position to propagate.
+    qhead: usize,
+    /// VSIDS activity, per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    cla_inc: f32,
+    /// Live learnt clauses (for database reduction).
+    learnts: Vec<ClauseRef>,
+    max_learnts: f64,
+    /// Per-variable scratch marks for conflict analysis.
+    seen: Vec<bool>,
+    /// Literals whose `seen` marks must be cleared after analysis.
+    analyze_toclear: Vec<Lit>,
+    /// False once the clause set is known unsatisfiable at level 0.
+    ok: bool,
+    /// Model captured at the last `Sat` answer, per variable.
+    model: Vec<Option<bool>>,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            db: ClauseDb::new(),
+            order: VarHeap::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            ..Solver::default()
+        }
+    }
+
+    /// Introduces a fresh variable, initially unassigned with saved phase
+    /// `false`.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assigns.len();
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.model.push(None);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(v + 1);
+        self.order.insert(v, &self.activity);
+        Var::from_index(v)
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live problem (non-learnt) clauses of length ≥ 2. Unit
+    /// clauses are absorbed into the top-level assignment instead of being
+    /// stored.
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_original
+    }
+
+    /// Number of live learnt clauses.
+    pub fn num_learnts(&self) -> usize {
+        self.db.num_learnt
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Whether the clause set has been proven unsatisfiable at the top
+    /// level (in which case every future [`Solver::solve`] call returns
+    /// [`SolveResult::Unsat`] immediately).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// The model value of `var` from the most recent [`SolveResult::Sat`]
+    /// answer, or `None` if the last call did not return `Sat`.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.model[var.index()]
+    }
+
+    /// The model value of a literal (see [`Solver::value`]).
+    pub fn lit_model_value(&self, lit: Lit) -> Option<bool> {
+        self.model[lit.var().index()].map(|b| b == lit.is_positive())
+    }
+
+    /// Snapshots the current problem as a [`crate::dimacs::Cnf`]: the
+    /// top-level assignment as unit clauses plus every live original
+    /// clause. Learnt clauses are omitted (they are implied). Call between
+    /// `solve` calls, i.e. at decision level 0.
+    pub fn to_cnf(&self) -> crate::dimacs::Cnf {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut cnf = crate::dimacs::Cnf::new(self.num_vars());
+        if !self.ok {
+            cnf.add_clause(Vec::new());
+            return cnf;
+        }
+        for &l in &self.trail {
+            cnf.add_clause(vec![l]);
+        }
+        for cref in self.db.iter_refs() {
+            if !self.db.is_learnt(cref) {
+                let lits: Vec<Lit> = self
+                    .db
+                    .lits(cref)
+                    .iter()
+                    .map(|&raw| Lit::from_index(raw as usize))
+                    .collect();
+                cnf.add_clause(lits);
+            }
+        }
+        cnf
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver is now known unsatisfiable at the top
+    /// level (e.g. the clause was empty after simplification, or a
+    /// top-level propagation it triggered conflicted); `true` otherwise.
+    /// Duplicate literals are removed, tautologies are dropped, and
+    /// literals already false at level 0 are simplified away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable not created with
+    /// [`Solver::new_var`].
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        for l in lits {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unknown variable {}",
+                l.var()
+            );
+        }
+
+        // Sort by packed code: the two polarities of one variable become
+        // adjacent, making duplicates and tautologies local checks.
+        let mut simplified: Vec<Lit> = lits.to_vec();
+        simplified.sort_unstable();
+        simplified.dedup();
+        let mut out: Vec<Lit> = Vec::with_capacity(simplified.len());
+        for &l in &simplified {
+            if out.last().is_some_and(|&prev| prev == !l) {
+                return true; // tautology: contains l and ¬l
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => {}          // falsified at level 0: drop
+                LBool::Undef => out.push(l),
+            }
+        }
+
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(&out, false);
+                self.attach_clause(cref);
+                true
+            }
+        }
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_assuming(&[])
+    }
+
+    /// Solves under `assumptions`: each assumption literal is forced true
+    /// for this call only (they act as pre-made decisions). A
+    /// [`SolveResult::Unsat`] answer under assumptions does **not** poison
+    /// the solver — later calls with different assumptions may still be
+    /// satisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption refers to a variable not created with
+    /// [`Solver::new_var`].
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SolveResult {
+        debug_assert_eq!(self.decision_level(), 0);
+        for l in assumptions {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unknown variable {}",
+                l.var()
+            );
+        }
+        for m in &mut self.model {
+            *m = None;
+        }
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        self.max_learnts = (self.db.num_original as f64 / 3.0).max(1000.0);
+
+        let mut curr_restarts = 0u64;
+        loop {
+            let budget = RESTART_BASE * luby(2, curr_restarts);
+            let status = self.search(budget, assumptions);
+            match status {
+                LBool::True => {
+                    for (v, &a) in self.assigns.iter().enumerate() {
+                        self.model[v] = match a {
+                            LBool::True => Some(true),
+                            LBool::False => Some(false),
+                            // Unreachable in practice (search assigns every
+                            // variable before answering Sat), but a default
+                            // keeps the model total.
+                            LBool::Undef => Some(false),
+                        };
+                    }
+                    self.cancel_until(0);
+                    return SolveResult::Sat;
+                }
+                LBool::False => {
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                LBool::Undef => {
+                    curr_restarts += 1;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Runs CDCL until SAT, UNSAT, or `max_conflicts` conflicts (restart).
+    fn search(&mut self, max_conflicts: u64, assumptions: &[Lit]) -> LBool {
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                conflicts += 1;
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    // Conflict independent of any decision or assumption.
+                    self.ok = false;
+                    return LBool::False;
+                }
+                let (learnt, backtrack) = self.analyze(confl);
+                self.cancel_until(backtrack);
+                self.stats.learnt_clauses += 1;
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let cref = self.db.alloc(&learnt, true);
+                    self.learnts.push(cref);
+                    self.attach_clause(cref);
+                    self.cla_bump(cref);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+            } else {
+                if conflicts >= max_conflicts {
+                    return LBool::Undef; // restart
+                }
+                if self.learnts.len() as f64 >= self.max_learnts {
+                    self.reduce_db();
+                }
+
+                // Take the next unsatisfied assumption as the decision, or
+                // fall back to VSIDS once all assumptions hold.
+                let mut next: Option<Lit> = None;
+                while self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.lit_value(p) {
+                        LBool::True => {
+                            // Already true: open a dummy level so the
+                            // level ↔ assumption-index correspondence holds.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return LBool::False,
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let next = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch_lit() {
+                        Some(p) => p,
+                        None => return LBool::True, // full assignment
+                    },
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(next, None);
+            }
+        }
+    }
+
+    /// Current decision level.
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Picks an unassigned variable by VSIDS activity, signed by its saved
+    /// phase.
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v] == LBool::Undef {
+                return Some(Lit::new(Var::from_index(v), self.phase[v]));
+            }
+        }
+        None
+    }
+
+    /// Undoes all assignments above `level`, saving phases and returning
+    /// variables to the order heap.
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level];
+        for idx in (lim..self.trail.len()).rev() {
+            let p = self.trail[idx];
+            let v = p.var().index();
+            self.phase[v] = p.is_positive();
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level);
+        self.qhead = lim;
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    /// Current truth value of a literal.
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.is_positive()),
+            LBool::False => LBool::from_bool(!l.is_positive()),
+        }
+    }
+
+    /// Records `p` as true at the current level with the given reason.
+    fn unchecked_enqueue(&mut self, p: Lit, reason: Option<ClauseRef>) {
+        let v = p.var().index();
+        debug_assert_eq!(self.assigns[v], LBool::Undef);
+        self.assigns[v] = LBool::from_bool(p.is_positive());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(p);
+        self.stats.propagations += 1;
+    }
+
+    /// Starts watching a clause on its first two literals.
+    fn attach_clause(&mut self, cref: ClauseRef) {
+        let c0 = self.db.lit(cref, 0);
+        let c1 = self.db.lit(cref, 1);
+        self.watches[(!c0).index()].push(Watch { cref, blocker: c1 });
+        self.watches[(!c1).index()].push(Watch { cref, blocker: c0 });
+    }
+
+    /// Removes a clause's two watch entries.
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        for i in 0..2 {
+            let w = (!self.db.lit(cref, i)).index();
+            let pos = self.watches[w]
+                .iter()
+                .position(|e| e.cref == cref)
+                .expect("watch entry present");
+            self.watches[w].swap_remove(pos);
+        }
+    }
+
+    /// Propagates all enqueued assignments. Returns the conflicting clause
+    /// if one is found, `None` when a fixpoint is reached.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut confl: Option<ClauseRef> = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+
+            // Take the list so the arena and other lists stay borrowable.
+            // New watches are only ever pushed onto *other* literals' lists
+            // (the replacement watch is never `¬p`).
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            let mut j = 0;
+            'next_watch: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Cheap pre-check: a true blocker means the clause is
+                // already satisfied.
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Normalize: the falsified watched literal sits at slot 1.
+                if self.db.lit(cref, 0) == false_lit {
+                    let other = self.db.lit(cref, 1);
+                    self.db.set_lit(cref, 0, other);
+                    self.db.set_lit(cref, 1, false_lit);
+                }
+                debug_assert_eq!(self.db.lit(cref, 1), false_lit);
+                let first = self.db.lit(cref, 0);
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = Watch {
+                        cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                for k in 2..self.db.len(cref) {
+                    let l = self.db.lit(cref, k);
+                    if self.lit_value(l) != LBool::False {
+                        self.db.swap_lits(cref, 1, k);
+                        self.watches[(!l).index()].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'next_watch;
+                    }
+                }
+                // Clause is unit (or conflicting) under the current
+                // assignment; keep the watch.
+                ws[j] = Watch {
+                    cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    confl = Some(cref);
+                    self.qhead = self.trail.len();
+                    // Copy the rest of the list back verbatim.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.index()] = ws;
+            if confl.is_some() {
+                break;
+            }
+        }
+        confl
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis
+    // ------------------------------------------------------------------
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the level to backtrack to.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_index(0)]; // slot 0 = asserting lit
+        let mut counter = 0usize; // literals of the current level still to resolve
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            if self.db.is_learnt(confl) {
+                self.cla_bump(confl);
+            }
+            // Skip slot 0 (the literal this clause propagated) on reason
+            // clauses; scan everything on the original conflict.
+            let start = usize::from(p.is_some());
+            for k in start..self.db.len(confl) {
+                let q = self.db.lit(confl, k);
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.var_bump(v);
+                    if self.level[v] as usize >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pivot = self.trail[index];
+            let v = pivot.var().index();
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pivot; // the first UIP
+                break;
+            }
+            p = Some(pivot);
+            confl = self.reason[v].expect("non-decision literal has a reason");
+        }
+
+        // Reason-side minimization: drop any learnt literal whose negation
+        // is implied by the rest of the clause through reason chains.
+        self.analyze_toclear = learnt.clone();
+        let abstract_levels = learnt[1..]
+            .iter()
+            .fold(0u32, |m, l| m | self.abstract_level(l.var().index()));
+        let before = learnt.len();
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            if self.reason[l.var().index()].is_none() || !self.lit_redundant(l, abstract_levels) {
+                learnt[j] = l;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+        self.stats.minimized_literals += (before - learnt.len()) as u64;
+
+        // Clear the scratch marks (including those set by lit_redundant).
+        for idx in 0..self.analyze_toclear.len() {
+            let v = self.analyze_toclear[idx].var().index();
+            self.seen[v] = false;
+        }
+        self.analyze_toclear.clear();
+
+        // Backtrack level: the second-highest level in the clause; that
+        // literal moves to slot 1 so it is watched after attachment.
+        if learnt.len() == 1 {
+            return (learnt, 0);
+        }
+        let mut max_i = 1;
+        for i in 2..learnt.len() {
+            if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                max_i = i;
+            }
+        }
+        learnt.swap(1, max_i);
+        let backtrack = self.level[learnt[1].var().index()] as usize;
+        (learnt, backtrack)
+    }
+
+    /// One-hot abstraction of a decision level, for the cheap set test in
+    /// [`Solver::lit_redundant`].
+    fn abstract_level(&self, v: usize) -> u32 {
+        1 << (self.level[v] & 31)
+    }
+
+    /// Whether `p` is redundant in the learnt clause: every path from `p`
+    /// through reason clauses bottoms out in level-0 facts or literals
+    /// already in the clause (recursive check, MiniSat's `litRedundant`).
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u32) -> bool {
+        let mut stack = vec![p];
+        let top = self.analyze_toclear.len();
+        while let Some(q) = stack.pop() {
+            let cref = self.reason[q.var().index()].expect("redundancy walk stays on implied lits");
+            for k in 1..self.db.len(cref) {
+                let l = self.db.lit(cref, k);
+                let v = l.var().index();
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                if self.reason[v].is_some() && (self.abstract_level(v) & abstract_levels) != 0 {
+                    self.seen[v] = true;
+                    stack.push(l);
+                    self.analyze_toclear.push(l);
+                } else {
+                    // Not provably redundant: undo this walk's marks.
+                    for idx in top..self.analyze_toclear.len() {
+                        let u = self.analyze_toclear[idx].var().index();
+                        self.seen[u] = false;
+                    }
+                    self.analyze_toclear.truncate(top);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Activities
+    // ------------------------------------------------------------------
+
+    /// Bumps a variable's VSIDS activity and restores heap order.
+    fn var_bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > VAR_RESCALE {
+            for a in &mut self.activity {
+                *a /= VAR_RESCALE;
+            }
+            self.var_inc /= VAR_RESCALE;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    /// Bumps a learnt clause's activity.
+    fn cla_bump(&mut self, cref: ClauseRef) {
+        let a = self.db.activity(cref) + self.cla_inc;
+        self.db.set_activity(cref, a);
+        if a > CLA_RESCALE {
+            for i in 0..self.learnts.len() {
+                let c = self.learnts[i];
+                let scaled = self.db.activity(c) / CLA_RESCALE;
+                self.db.set_activity(c, scaled);
+            }
+            self.cla_inc /= CLA_RESCALE;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Learnt database management
+    // ------------------------------------------------------------------
+
+    /// Whether a clause is the reason for its first literal's assignment
+    /// (such clauses must survive database reduction).
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let c0 = self.db.lit(cref, 0);
+        self.lit_value(c0) == LBool::True && self.reason[c0.var().index()] == Some(cref)
+    }
+
+    /// Deletes roughly half of the learnt clauses, lowest activity first.
+    /// Binary and locked clauses are kept. Compacts the arena when a
+    /// quarter of it is garbage.
+    fn reduce_db(&mut self) {
+        let learnts = {
+            let mut ls = std::mem::take(&mut self.learnts);
+            let db = &self.db;
+            ls.sort_by(|&a, &b| {
+                db.activity(a)
+                    .partial_cmp(&db.activity(b))
+                    .expect("clause activities are finite")
+            });
+            ls
+        };
+        let half = learnts.len() / 2;
+        let extra_lim = self.cla_inc / learnts.len().max(1) as f32;
+        let mut kept = Vec::with_capacity(learnts.len());
+        for (i, &cref) in learnts.iter().enumerate() {
+            let disposable = self.db.len(cref) > 2 && !self.is_locked(cref);
+            if disposable && (i < half || self.db.activity(cref) < extra_lim) {
+                self.detach_clause(cref);
+                self.db.delete(cref);
+                self.stats.deleted_clauses += 1;
+            } else {
+                kept.push(cref);
+            }
+        }
+        self.learnts = kept;
+        self.max_learnts *= 1.1;
+
+        if self.db.wasted * 4 > self.db.arena_words() {
+            self.compact();
+        }
+    }
+
+    /// Compacts the clause arena and remaps every stored [`ClauseRef`].
+    fn compact(&mut self) {
+        let mut map: HashMap<ClauseRef, ClauseRef> = HashMap::new();
+        self.db.compact(|old, new| {
+            map.insert(old, new);
+        });
+        for ws in &mut self.watches {
+            for w in ws {
+                w.cref = map[&w.cref];
+            }
+        }
+        for r in self.reason.iter_mut().flatten() {
+            *r = map[r];
+        }
+        for c in &mut self.learnts {
+            *c = map[c];
+        }
+    }
+}
+
+/// The Luby restart sequence scaled by `y`: `y^luby_exponent(i)`
+/// (1, 1, 2, 1, 1, 2, 4, ... for `y = 2`).
+fn luby(y: u64, mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    y.pow(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(code: i64) -> Lit {
+        Lit::from_dimacs(code)
+    }
+
+    /// Builds a solver with `n` vars and the given DIMACS-coded clauses.
+    fn solver_with(n: usize, clauses: &[&[i64]]) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        for c in clauses {
+            let lits: Vec<Lit> = c.iter().map(|&x| lit(x)).collect();
+            s.add_clause(&lits);
+        }
+        s
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..9).map(|i| luby(2, i)).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = solver_with(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(0)), Some(true));
+        assert_eq!(s.value(Var::from_index(1)), Some(true));
+        assert_eq!(s.value(Var::from_index(2)), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert!(!s.is_ok());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = solver_with(1, &[]);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = solver_with(2, &[&[1, -1]]);
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_collapse() {
+        let mut s = solver_with(2, &[&[1, 1, 2, 2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let a = s.value(Var::from_index(0)).unwrap();
+        let b = s.value(Var::from_index(1)).unwrap();
+        assert!(a || b);
+    }
+
+    #[test]
+    fn xor_chain_forces_search() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1 is unsatisfiable.
+        let mut s = solver_with(
+            3,
+            &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]],
+        );
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let clauses: &[&[i64]] = &[
+            &[1, 2, -3],
+            &[-1, 3],
+            &[-2, 3],
+            &[1, -2],
+            &[2, -4, 5],
+            &[-5, 4],
+        ];
+        let mut s = solver_with(5, clauses);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for c in clauses {
+            assert!(
+                c.iter()
+                    .any(|&code| s.lit_model_value(lit(code)) == Some(true)),
+                "clause {c:?} unsatisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn assumptions_do_not_poison() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        assert_eq!(s.solve_assuming(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+        assert!(s.is_ok());
+        assert_eq!(s.solve_assuming(&[lit(-1)]), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(1)), Some(true));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let mut s = solver_with(1, &[]);
+        assert_eq!(s.solve_assuming(&[lit(1), lit(-1)]), SolveResult::Unsat);
+        assert!(s.is_ok());
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.add_clause(&[lit(-1)]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(1)), Some(true));
+        assert!(s.add_clause(&[lit(-2)]) || !s.is_ok());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Once top-level unsat, it stays unsat.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_cleared_on_unsat() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.value(Var::from_index(0)).is_some());
+        assert_eq!(s.solve_assuming(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+        assert_eq!(s.value(Var::from_index(0)), None);
+    }
+
+    /// Pigeonhole principle instance: `pigeons` pigeons into `holes` holes.
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let vars: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in &vars {
+            let c: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..holes {
+            for (i, pi) in vars.iter().enumerate() {
+                for pj in vars.iter().skip(i + 1) {
+                    s.add_clause(&[Lit::negative(pi[h]), Lit::negative(pj[h])]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat_exercises_learning() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = *s.stats();
+        assert!(st.conflicts > 0, "expected a real search: {st:?}");
+        assert!(st.learnt_clauses > 0);
+        assert!(st.decisions > 0);
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_room() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5, 5);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stats_accumulate_across_calls() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        s.solve();
+        let d1 = s.stats().decisions;
+        s.solve();
+        assert!(s.stats().decisions >= d1);
+    }
+}

@@ -84,10 +84,17 @@ impl Lit {
     ///
     /// # Panics
     ///
-    /// Panics if `code == 0`.
+    /// Panics if `code == 0`, or if the variable number exceeds
+    /// [`crate::dimacs::MAX_VARS`] (it would wrap in the packed `u32`
+    /// representation).
     pub fn from_dimacs(code: i64) -> Lit {
         assert!(code != 0, "DIMACS literal cannot be 0");
-        let var = Var(code.unsigned_abs() as u32 - 1);
+        let magnitude = code.unsigned_abs();
+        assert!(
+            magnitude <= crate::dimacs::MAX_VARS as u64,
+            "DIMACS variable {magnitude} exceeds the supported maximum"
+        );
+        let var = Var(magnitude as u32 - 1);
         Lit::new(var, code > 0)
     }
 }

@@ -117,7 +117,11 @@ impl<'c> ScanChip<'c> {
     ///
     /// Panics if the chain length differs from the circuit's flop count.
     pub fn new(circuit: &'c Circuit, chain: ScanChain) -> Self {
-        assert_eq!(chain.len(), circuit.num_dffs(), "chain must cover all flops");
+        assert_eq!(
+            chain.len(),
+            circuit.num_dffs(),
+            "chain must cover all flops"
+        );
         ScanChip {
             evaluator: Evaluator::new(circuit),
             chain,
@@ -260,7 +264,9 @@ mod tests {
 
     #[test]
     fn shuffled_chain_applies_permutation() {
-        let c = GeneratorConfig::new("sc", 4, 2, 6, 30).with_seed(1).generate();
+        let c = GeneratorConfig::new("sc", 4, 2, 6, 30)
+            .with_seed(1)
+            .generate();
         let mut rng = gf2::SplitMix64::new(5);
         let chain = ScanChain::shuffled(6, &mut rng);
         let mut chip = ScanChip::new(&c, chain.clone());

@@ -1,0 +1,54 @@
+//! End-to-end demo of the substrate through the umbrella crate's public
+//! surface: parse a DIMACS CNF, solve it incrementally under assumptions,
+//! and recover a hidden LFSR seed from key-stream observations — the two
+//! primitives the DynUnlock attack composes.
+//!
+//! Run with: `cargo run --release --example unlock_demo`
+
+use dynunlock_repro::gf2::BitVec;
+use dynunlock_repro::lfsr::recover::{Observation, SeedRecovery};
+use dynunlock_repro::lfsr::{Lfsr, TapSet};
+use dynunlock_repro::satsolver::dimacs::Cnf;
+use dynunlock_repro::satsolver::{Lit, SolveResult};
+
+fn main() {
+    // 1. Solve a small CNF given in DIMACS text form.
+    let dimacs = "c (a ∨ b) ∧ (¬a ∨ c) ∧ (¬b ∨ c)\np cnf 3 3\n1 2 0\n-1 3 0\n-2 3 0\n";
+    let cnf = Cnf::parse(dimacs).expect("valid DIMACS");
+    let (mut solver, vars) = cnf.to_solver();
+    let result = solver.solve();
+    println!("DIMACS instance: {result:?}");
+    assert_eq!(result, SolveResult::Sat);
+    let model: Vec<bool> = vars.iter().map(|&v| solver.value(v).unwrap()).collect();
+    println!("  model: {model:?} (satisfies CNF: {})", cnf.eval(&model));
+
+    // 2. The same solver, incrementally, under assumptions: force ¬c and
+    //    the instance becomes unsatisfiable — without poisoning the solver.
+    let not_c = Lit::negative(vars[2]);
+    println!("  under ¬c: {:?}", solver.solve_assuming(&[not_c]));
+    println!("  unconstrained again: {:?}", solver.solve());
+
+    // 3. Recover a hidden 64-bit LFSR seed by watching one output bit —
+    //    the linear-algebra core that breaks per-cycle dynamic re-keying.
+    let taps = TapSet::maximal(64).expect("tabulated width");
+    let secret = BitVec::from_u64(64, 0x0BAD_5EED_CAFE_F00D);
+    let mut chip = Lfsr::new(taps.clone(), secret.clone());
+    let mut rec = SeedRecovery::new(taps);
+    let mut cycles = 0;
+    while rec.unique_seed().is_none() {
+        rec.observe(Observation {
+            cycle: cycles,
+            bit_index: 0,
+            value: chip.bit(0),
+        })
+        .expect("observations are consistent");
+        chip.step();
+        cycles += 1;
+    }
+    let recovered = rec.unique_seed().unwrap();
+    println!("LFSR seed recovered after {cycles} observed cycles");
+    println!("  secret:    {secret}");
+    println!("  recovered: {recovered}");
+    assert_eq!(recovered, secret);
+    println!("ok");
+}
