@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the substrate components: GF(2) algebra, LFSR
 //! stepping and seed recovery, netlist simulation, and SAT solving.
 
-use bench::{pigeonhole, planted_3sat, run};
+use bench::{pigeonhole, planted_3sat, sized, Reporter};
 use gf2::{BitMatrix, BitVec, Xoshiro256};
 use lfsr::recover::{Observation, SeedRecovery};
 use lfsr::{Lfsr, TapSet};
@@ -9,24 +9,27 @@ use netlist::generator::s208_like;
 use sim::Evaluator;
 
 fn main() {
+    let mut rep = Reporter::new("components");
+
     // GF(2): dense 256×256 matrix product and rank.
     let mut rng = Xoshiro256::new(0xC0FFEE);
     let a = BitMatrix::random(256, 256, &mut rng);
     let b = BitMatrix::random(256, 256, &mut rng);
-    run("gf2/mul_256x256", 50, || a.mul(&b));
-    run("gf2/rank_256x256", 50, || a.rank());
+    rep.case("gf2/mul_256x256", 256, sized(50, 5), || a.mul(&b));
+    rep.case("gf2/rank_256x256", 256, sized(50, 5), || a.rank());
 
     // LFSR: 10k steps of a 64-bit maximal register.
     let taps = TapSet::maximal(64).expect("64 is tabulated");
     let seed = BitVec::from_u64(64, 0xDEAD_BEEF_1234_5678);
-    run("lfsr/step_10k_w64", 50, || {
+    let steps = sized(10_000u64, 1_000);
+    rep.case("lfsr/step_10k_w64", steps, sized(50, 5), || {
         let mut l = Lfsr::new(taps.clone(), seed.clone());
-        l.run(10_000);
+        l.run(steps);
         l.state().clone()
     });
 
     // LFSR seed recovery from 64 single-bit observations.
-    run("lfsr/recover_w64", 20, || {
+    rep.case("lfsr/recover_w64", 64, sized(20, 3), || {
         let mut chip = Lfsr::new(taps.clone(), seed.clone());
         let mut rec = SeedRecovery::new(taps.clone());
         for cycle in 0..64 {
@@ -46,20 +49,27 @@ fn main() {
     let pis = vec![true; circuit.inputs().len()];
     let state = vec![false; circuit.num_dffs()];
     let mut ev = Evaluator::new(&circuit);
-    run("sim/eval_s208_like", 2_000, || {
-        ev.eval(&pis, &state);
-        ev.output_values()
-    });
+    rep.case(
+        "sim/eval_s208_like",
+        circuit.num_gates() as u64,
+        sized(2_000, 100),
+        || {
+            ev.eval(&pis, &state);
+            ev.output_values()
+        },
+    );
 
     // SAT: a planted (satisfiable) 3-SAT instance and a pigeonhole proof.
     let sat_inst = planted_3sat(150, 600, 7);
-    run("sat/planted_3sat_150v", 20, || {
+    rep.case("sat/planted_3sat_150v", 150, sized(20, 3), || {
         let (mut s, _) = sat_inst.to_solver();
         s.solve()
     });
     let unsat_inst = pigeonhole(7, 6);
-    run("sat/pigeonhole_7_6", 20, || {
+    rep.case("sat/pigeonhole_7_6", 7, sized(20, 3), || {
         let (mut s, _) = unsat_inst.to_solver();
         s.solve()
     });
+
+    rep.finish();
 }

@@ -2,17 +2,25 @@
 //! grows, and SAT solve time as the instance grows. These are the knobs
 //! the paper's key-size and benchmark-size sweeps turn.
 
-use bench::{pigeonhole, planted_3sat, run};
+use bench::{pigeonhole, planted_3sat, sized, Reporter};
 use gf2::{Rng64, Xoshiro256};
 use netlist::generator::GeneratorConfig;
 use sim::Evaluator;
 
 fn main() {
+    let mut rep = Reporter::new("scalability");
+
     // Circuit generation + 100 random input sweeps at growing gate counts.
-    for &gates in &[500usize, 2_000, 8_000] {
+    let gate_sweep: &[usize] = sized(&[500, 2_000, 8_000], &[500, 2_000]);
+    for &gates in gate_sweep {
         let cfg = GeneratorConfig::new(format!("scale{gates}"), 32, 32, gates / 10, gates)
             .with_seed(gates as u64);
-        run(&format!("netlist/generate_{gates}g"), 10, || cfg.generate());
+        rep.case(
+            &format!("netlist/generate_{gates}g"),
+            gates as u64,
+            sized(10, 3),
+            || cfg.generate(),
+        );
 
         let circuit = cfg.generate();
         let mut rng = Xoshiro256::new(1);
@@ -28,34 +36,53 @@ fn main() {
             })
             .collect();
         let mut ev = Evaluator::new(&circuit);
-        run(&format!("sim/eval100_{gates}g"), 10, || {
-            let mut ones = 0usize;
-            for (pis, st) in &stimuli {
-                ev.eval(pis, st);
-                ones += ev.output_values().iter().filter(|&&b| b).count();
-            }
-            ones
-        });
+        rep.case(
+            &format!("sim/eval100_{gates}g"),
+            gates as u64,
+            sized(10, 3),
+            || {
+                let mut ones = 0usize;
+                for (pis, st) in &stimuli {
+                    ev.eval(pis, st);
+                    ones += ev.output_values().iter().filter(|&&b| b).count();
+                }
+                ones
+            },
+        );
     }
 
     // SAT solve time at growing planted-instance sizes. The clause/var
     // ratio 4 sits near the 3-SAT phase transition, so effort grows
     // steeply; 200 vars already costs tens of milliseconds and 400 costs
     // ~15 s on this solver, so the sweep stops at 200.
-    for &vars in &[50usize, 100, 200] {
+    let var_sweep: &[usize] = sized(&[50, 100, 200], &[50, 100]);
+    for &vars in var_sweep {
         let inst = planted_3sat(vars, vars * 4, 42);
-        run(&format!("sat/planted_3sat_{vars}v"), 10, || {
-            let (mut s, _) = inst.to_solver();
-            s.solve()
-        });
+        rep.case(
+            &format!("sat/planted_3sat_{vars}v"),
+            vars as u64,
+            sized(10, 3),
+            || {
+                let (mut s, _) = inst.to_solver();
+                s.solve()
+            },
+        );
     }
 
     // UNSAT proof effort at growing pigeonhole sizes.
-    for &holes in &[5usize, 6, 7] {
+    let hole_sweep: &[usize] = sized(&[5, 6, 7], &[5, 6]);
+    for &holes in hole_sweep {
         let inst = pigeonhole(holes + 1, holes);
-        run(&format!("sat/pigeonhole_{}_{holes}", holes + 1), 5, || {
-            let (mut s, _) = inst.to_solver();
-            s.solve()
-        });
+        rep.case(
+            &format!("sat/pigeonhole_{}_{holes}", holes + 1),
+            holes as u64,
+            sized(5, 2),
+            || {
+                let (mut s, _) = inst.to_solver();
+                s.solve()
+            },
+        );
     }
+
+    rep.finish();
 }

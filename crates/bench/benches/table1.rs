@@ -3,16 +3,22 @@
 //! the paper's published interface sizes (scan flops, PI/PO counts); see
 //! DESIGN.md §4 for the synthetic-netlist substitution.
 
-use bench::run;
-use netlist::profiles::PAPER_BENCHMARKS;
+use bench::{sized, Reporter};
+use netlist::profiles::{BenchmarkProfile, PAPER_BENCHMARKS};
 use sim::Evaluator;
 
 fn main() {
+    let mut rep = Reporter::new("table1");
+    let profiles: Vec<BenchmarkProfile> = PAPER_BENCHMARKS
+        .iter()
+        .map(|p| if bench::smoke() { p.scaled(0.1) } else { *p })
+        .collect();
+
     println!(
         "{:<10} {:>6} {:>6} {:>6} {:>7}",
         "bench", "PI", "PO", "flops", "gates"
     );
-    for p in &PAPER_BENCHMARKS {
+    for p in &profiles {
         let c = p.build(0);
         println!(
             "{:<10} {:>6} {:>6} {:>6} {:>7}",
@@ -25,16 +31,28 @@ fn main() {
     }
     println!();
 
-    for p in &PAPER_BENCHMARKS {
-        run(&format!("table1/build_{}", p.name), 5, || p.build(0));
+    for p in &profiles {
+        rep.case(
+            &format!("table1/build_{}", p.name),
+            p.gates as u64,
+            sized(5, 2),
+            || p.build(0),
+        );
 
         let c = p.build(0);
         let pis = vec![false; c.inputs().len()];
         let state = vec![false; c.num_dffs()];
         let mut ev = Evaluator::new(&c);
-        run(&format!("table1/eval_{}", p.name), 20, || {
-            ev.eval(&pis, &state);
-            (ev.output_values(), ev.next_state())
-        });
+        rep.case(
+            &format!("table1/eval_{}", p.name),
+            p.gates as u64,
+            sized(20, 3),
+            || {
+                ev.eval(&pis, &state);
+                (ev.output_values(), ev.next_state())
+            },
+        );
     }
+
+    rep.finish();
 }

@@ -4,7 +4,7 @@
 //! linear-algebra core the oracle-guided attack reduces to once enough
 //! key bits leak.
 
-use bench::run;
+use bench::{sized, Reporter};
 use gf2::{BitVec, SplitMix64, Xoshiro256};
 use lfsr::recover::{Observation, SeedRecovery};
 use lfsr::{Lfsr, TapSet};
@@ -16,31 +16,44 @@ use netlist::profiles::PAPER_BENCHMARKS;
 const MIN_PERIOD: u64 = 1 << 14;
 
 fn main() {
+    let mut rep = Reporter::new("table2");
+
     for p in &PAPER_BENCHMARKS {
-        let width = p.scan_flops;
+        let width = if bench::smoke() {
+            p.scaled(0.1).scan_flops
+        } else {
+            p.scan_flops
+        };
         let mut rng = Xoshiro256::new(width as u64);
         let taps = TapSet::for_width(width, MIN_PERIOD, &mut rng).expect("tap search succeeds");
         let mut seed_rng = SplitMix64::new(0xA5A5_0000 | width as u64);
         let seed = BitVec::random(width, &mut seed_rng);
 
-        run(&format!("table2/recover_{}_w{width}", p.name), 3, || {
-            let mut chip = Lfsr::new(taps.clone(), seed.clone());
-            let mut rec = SeedRecovery::new(taps.clone());
-            for cycle in 0..width as u64 {
-                rec.observe(Observation {
-                    cycle,
-                    bit_index: 0,
-                    value: chip.bit(0),
-                })
-                .expect("consistent observations");
-                chip.step();
-            }
-            assert_eq!(
-                rec.unique_seed().as_ref(),
-                Some(&seed),
-                "seed recovery must pin the planted seed"
-            );
-            rec.rank()
-        });
+        rep.case(
+            &format!("table2/recover_{}", p.name),
+            width as u64,
+            sized(3, 2),
+            || {
+                let mut chip = Lfsr::new(taps.clone(), seed.clone());
+                let mut rec = SeedRecovery::new(taps.clone());
+                for cycle in 0..width as u64 {
+                    rec.observe(Observation {
+                        cycle,
+                        bit_index: 0,
+                        value: chip.bit(0),
+                    })
+                    .expect("consistent observations");
+                    chip.step();
+                }
+                assert_eq!(
+                    rec.unique_seed().as_ref(),
+                    Some(&seed),
+                    "seed recovery must pin the planted seed"
+                );
+                rec.rank()
+            },
+        );
     }
+
+    rep.finish();
 }

@@ -3,7 +3,7 @@
 //! in key size; this bench times seed recovery across that width sweep,
 //! plus SAT effort on instances grown in step.
 
-use bench::{planted_3sat, run};
+use bench::{planted_3sat, sized, Reporter};
 use gf2::{BitVec, SplitMix64, Xoshiro256};
 use lfsr::recover::{Observation, SeedRecovery};
 use lfsr::{Lfsr, TapSet};
@@ -12,39 +12,56 @@ use netlist::profiles::TABLE3_BENCHMARKS;
 /// Key widths swept, spanning the paper's 144…368-bit range.
 const WIDTHS: [usize; 5] = [144, 200, 256, 312, 368];
 
+/// Reduced sweep for CI smoke runs.
+const SMOKE_WIDTHS: [usize; 2] = [144, 200];
+
 const MIN_PERIOD: u64 = 1 << 14;
 
 fn main() {
+    let mut rep = Reporter::new("table3");
     println!("key-size sweep over benchmarks: {TABLE3_BENCHMARKS:?}");
 
-    for &width in &WIDTHS {
+    let widths: &[usize] = sized(&WIDTHS, &SMOKE_WIDTHS);
+    for &width in widths {
         let mut rng = Xoshiro256::new(width as u64);
         let taps = TapSet::for_width(width, MIN_PERIOD, &mut rng).expect("tap search succeeds");
         let mut seed_rng = SplitMix64::new(width as u64);
         let seed = BitVec::random(width, &mut seed_rng);
 
-        run(&format!("table3/recover_w{width}"), 3, || {
-            let mut chip = Lfsr::new(taps.clone(), seed.clone());
-            let mut rec = SeedRecovery::new(taps.clone());
-            for cycle in 0..width as u64 {
-                rec.observe(Observation {
-                    cycle,
-                    bit_index: 0,
-                    value: chip.bit(0),
-                })
-                .expect("consistent observations");
-                chip.step();
-            }
-            rec.unique_seed().expect("full-rank system")
-        });
+        rep.case(
+            &format!("table3/recover_w{width}"),
+            width as u64,
+            sized(3, 2),
+            || {
+                let mut chip = Lfsr::new(taps.clone(), seed.clone());
+                let mut rec = SeedRecovery::new(taps.clone());
+                for cycle in 0..width as u64 {
+                    rec.observe(Observation {
+                        cycle,
+                        bit_index: 0,
+                        value: chip.bit(0),
+                    })
+                    .expect("consistent observations");
+                    chip.step();
+                }
+                rec.unique_seed().expect("full-rank system")
+            },
+        );
 
         // SAT effort grown in step with the key width. Ratio 3 keeps the
         // instances under-constrained: phase-transition-ratio instances
         // at these sizes take seconds-to-minutes on this solver.
         let inst = planted_3sat(width * 2, width * 6, width as u64);
-        run(&format!("table3/sat_{}v", width * 2), 3, || {
-            let (mut s, _) = inst.to_solver();
-            s.solve()
-        });
+        rep.case(
+            &format!("table3/sat_{}v", width * 2),
+            (width * 2) as u64,
+            sized(3, 2),
+            || {
+                let (mut s, _) = inst.to_solver();
+                s.solve()
+            },
+        );
     }
+
+    rep.finish();
 }

@@ -1,0 +1,152 @@
+//! Word-parallel kernel throughput: the 64-lane packed evaluator vs the
+//! scalar reference (patterns/sec), M4RI blocked elimination vs plain
+//! Gaussian (rows-reduced/sec), and symbolic LFSR batch stepping
+//! (cycles/sec). These are the two inner loops of the DynUnlock attack;
+//! the emitted `BENCH_wordpar.json` pins the speedups across PRs.
+
+use bench::{sized, Reporter};
+use gf2::{m4ri, BitVec, Rng64, Xoshiro256};
+use lfsr::{SymbolicLfsr, TapSet};
+use netlist::profiles::{by_name, PAPER_BENCHMARKS};
+use sim::{unpack_lane, Evaluator, PackedEvaluator};
+
+fn main() {
+    let mut rep = Reporter::new("wordpar");
+
+    // ----- simulation: the largest paper profile, >= 4096 patterns -----
+    let largest = PAPER_BENCHMARKS
+        .iter()
+        .max_by_key(|p| p.scan_flops)
+        .expect("profiles exist");
+    assert_eq!(largest.name, by_name("s35932").unwrap().name);
+    let profile = if bench::smoke() {
+        largest.scaled(0.05)
+    } else {
+        *largest
+    };
+    let circuit = profile.build(0);
+    let num_patterns = sized(4096usize, 512);
+    let num_words = num_patterns / 64;
+    println!(
+        "sim target: {} ({} gates, {} flops, {} patterns)",
+        circuit.name(),
+        circuit.num_gates(),
+        circuit.num_dffs(),
+        num_patterns
+    );
+
+    let mut rng = Xoshiro256::new(0x60D);
+    let packed_stimuli: Vec<(Vec<u64>, Vec<u64>)> = (0..num_words)
+        .map(|_| {
+            (
+                (0..circuit.inputs().len())
+                    .map(|_| rng.next_u64())
+                    .collect(),
+                (0..circuit.num_dffs()).map(|_| rng.next_u64()).collect(),
+            )
+        })
+        .collect();
+    let scalar_stimuli: Vec<(Vec<bool>, Vec<bool>)> = packed_stimuli
+        .iter()
+        .flat_map(|(pis, state)| {
+            (0..64).map(move |lane| (unpack_lane(pis, lane), unpack_lane(state, lane)))
+        })
+        .collect();
+    let probe = circuit.outputs()[0];
+
+    let mut scalar = Evaluator::new(&circuit);
+    rep.case_throughput(
+        "sim/scalar_eval",
+        num_patterns as u64,
+        sized(5, 3),
+        "patterns/sec",
+        num_patterns as f64,
+        || {
+            let mut acc = 0usize;
+            for (pis, state) in &scalar_stimuli {
+                scalar.eval(pis, state);
+                acc ^= usize::from(scalar.value(probe));
+            }
+            acc
+        },
+    );
+
+    let mut packed = PackedEvaluator::new(&circuit);
+    rep.case_throughput(
+        "sim/packed_eval",
+        num_patterns as u64,
+        sized(50, 10),
+        "patterns/sec",
+        num_patterns as f64,
+        || {
+            let mut acc = 0u64;
+            for (pis, state) in &packed_stimuli {
+                packed.eval(pis, state);
+                acc ^= packed.value(probe);
+            }
+            acc
+        },
+    );
+
+    // ----- GF(2): n x n random system elimination -----
+    let n = sized(2048usize, 512);
+    let mut rng = Xoshiro256::new(0xE11);
+    let rows: Vec<BitVec> = (0..n).map(|_| BitVec::random(n, &mut rng)).collect();
+    println!("gf2 target: {n}x{n} random system");
+
+    rep.case_throughput(
+        "gf2/gaussian_rref",
+        n as u64,
+        sized(3, 3),
+        "rows-reduced/sec",
+        n as f64,
+        || {
+            let mut work = rows.clone();
+            m4ri::rref_gaussian(&mut work).len()
+        },
+    );
+    rep.case_throughput(
+        "gf2/m4ri_rref",
+        n as u64,
+        sized(10, 5),
+        "rows-reduced/sec",
+        n as f64,
+        || {
+            let mut work = rows.clone();
+            m4ri::rref(&mut work).len()
+        },
+    );
+
+    // ----- LFSR: symbolic batch stepping (model-construction inner loop) -----
+    let width = sized(512usize, 128);
+    let cycles = sized(2048u64, 256);
+    let mut rng = Xoshiro256::new(width as u64);
+    let taps = TapSet::for_width(width, 1 << 14, &mut rng).expect("tap search succeeds");
+    rep.case_throughput(
+        "lfsr/symbolic_run",
+        width as u64,
+        sized(5, 3),
+        "cycles/sec",
+        cycles as f64,
+        || {
+            let mut sym = SymbolicLfsr::new(taps.clone());
+            sym.run(cycles);
+            sym.steps_taken()
+        },
+    );
+
+    // ----- speedup summary (the numbers the acceptance criteria track) -----
+    let speedup = |fast: &str, slow: &str| -> Option<f64> {
+        Some(rep.throughput_of(fast)? / rep.throughput_of(slow)?)
+    };
+    match speedup("sim/packed_eval", "sim/scalar_eval") {
+        Some(s) => println!("speedup sim/packed_vs_scalar: {s:.1}x (target >= 20x)"),
+        None => println!("speedup sim/packed_vs_scalar: n/a (a median was below clock resolution)"),
+    }
+    match speedup("gf2/m4ri_rref", "gf2/gaussian_rref") {
+        Some(s) => println!("speedup gf2/m4ri_vs_gaussian: {s:.1}x (target >= 3x)"),
+        None => println!("speedup gf2/m4ri_vs_gaussian: n/a (a median was below clock resolution)"),
+    }
+
+    rep.finish();
+}

@@ -6,10 +6,19 @@
 //! dependency-free); numbers are wall-clock medians over a fixed
 //! iteration count, which is plenty for the trend comparisons the paper's
 //! tables call for (DESIGN.md §4).
+//!
+//! Besides the human-readable lines, every bench records its cases in a
+//! [`Reporter`] and writes a machine-readable `BENCH_<name>.json` on
+//! finish, so the perf trajectory can be tracked across PRs (schema in
+//! DESIGN.md §5). Setting `BENCH_SMOKE=1` shrinks problem sizes and
+//! iteration counts for CI smoke runs; `BENCH_JSON_DIR` redirects where
+//! the JSON files land (default: the current directory).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use gf2::{Rng64, Xoshiro256};
@@ -50,6 +59,203 @@ pub fn run<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Sample {
         iters,
         median,
         total,
+    }
+}
+
+/// Whether benches should run at reduced smoke-test sizes
+/// (`BENCH_SMOKE=1` in the environment; used by the CI bench-smoke step).
+pub fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Picks `full` normally and `reduced` under [`smoke`] mode.
+pub fn sized<T>(full: T, reduced: T) -> T {
+    if smoke() {
+        reduced
+    } else {
+        full
+    }
+}
+
+/// One recorded benchmark case, as serialized into `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    size: u64,
+    iters: u32,
+    ns_per_iter: f64,
+    throughput: Option<(String, f64)>,
+}
+
+/// Collects benchmark cases and writes them as machine-readable JSON.
+///
+/// Create one per bench binary, record every case, and call
+/// [`Reporter::finish`] at the end of `main`. The output file is
+/// `BENCH_<name>.json` in `BENCH_JSON_DIR` (or the current directory),
+/// with the schema documented in DESIGN.md §5:
+///
+/// ```json
+/// {
+///   "schema": 1,
+///   "bench": "wordpar",
+///   "smoke": false,
+///   "results": [
+///     {"id": "sim/packed_eval", "size": 4096, "iters": 20,
+///      "ns_per_iter": 1234.5,
+///      "throughput": {"unit": "patterns/sec", "per_sec": 3.3e9}}
+///   ]
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Reporter {
+    bench: String,
+    results: Vec<Record>,
+}
+
+impl Reporter {
+    /// Starts a reporter for the bench target `name` (the `<name>` in
+    /// `BENCH_<name>.json`).
+    pub fn new(name: &str) -> Self {
+        Reporter {
+            bench: name.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` with [`run`] and records the case. `size` is the problem
+    /// size the case scales with (rows, patterns, variables…).
+    pub fn case<T>(&mut self, id: &str, size: u64, iters: u32, f: impl FnMut() -> T) -> Sample {
+        let sample = run(id, iters, f);
+        self.record(id, size, sample, None);
+        sample
+    }
+
+    /// Like [`Reporter::case`], additionally recording a throughput of
+    /// `items_per_iter / median` in `unit` (e.g. `"patterns/sec"`).
+    ///
+    /// If the median is below the clock resolution (zero), no throughput
+    /// is recorded — the schema's `per_sec` is always a finite number.
+    pub fn case_throughput<T>(
+        &mut self,
+        id: &str,
+        size: u64,
+        iters: u32,
+        unit: &str,
+        items_per_iter: f64,
+        f: impl FnMut() -> T,
+    ) -> Sample {
+        let sample = run(id, iters, f);
+        let secs = sample.median.as_secs_f64();
+        let throughput = if secs > 0.0 {
+            let per_sec = items_per_iter / secs;
+            println!("{id:<40}        {per_sec:>14.0} {unit}");
+            Some((unit.to_string(), per_sec))
+        } else {
+            println!("{id:<40}        median below clock resolution; no throughput");
+            None
+        };
+        self.record(id, size, sample, throughput);
+        sample
+    }
+
+    fn record(&mut self, id: &str, size: u64, sample: Sample, throughput: Option<(String, f64)>) {
+        self.results.push(Record {
+            id: id.to_string(),
+            size,
+            iters: sample.iters,
+            ns_per_iter: sample.median.as_nanos() as f64,
+            throughput,
+        });
+    }
+
+    /// Recorded throughput (per-sec value) of a case by id, if any.
+    pub fn throughput_of(&self, id: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.id == id)
+            .and_then(|r| r.throughput.as_ref().map(|(_, v)| *v))
+    }
+
+    /// Writes `BENCH_<name>.json` into `BENCH_JSON_DIR` (or the current
+    /// directory) and returns its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — a bench that silently loses its results is
+    /// worse than one that fails loudly.
+    pub fn finish(self) -> PathBuf {
+        let dir = std::env::var_os("BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        self.finish_to(&dir)
+    }
+
+    /// Writes `BENCH_<name>.json` into an explicit directory and returns
+    /// its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors, like [`Reporter::finish`].
+    pub fn finish_to(self, dir: &std::path::Path) -> PathBuf {
+        std::fs::create_dir_all(dir).expect("create bench JSON directory");
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(&self.bench)));
+        out.push_str(&format!("  \"smoke\": {},\n", smoke()));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"size\": {}, \"iters\": {}, \"ns_per_iter\": {}",
+                json_string(&r.id),
+                r.size,
+                r.iters,
+                json_number(r.ns_per_iter),
+            ));
+            match &r.throughput {
+                Some((unit, per_sec)) => out.push_str(&format!(
+                    ", \"throughput\": {{\"unit\": {}, \"per_sec\": {}}}}}",
+                    json_string(unit),
+                    json_number(*per_sec),
+                )),
+                None => out.push_str(", \"throughput\": null}"),
+            }
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        let mut file = std::fs::File::create(&path).expect("create bench JSON file");
+        file.write_all(out.as_bytes()).expect("write bench JSON");
+        println!("wrote {}", path.display());
+        path
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite float as a JSON number (JSON has no Infinity/NaN).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -150,5 +356,56 @@ mod tests {
     fn run_reports_requested_iters() {
         let s = run("selftest/noop", 3, || 1 + 1);
         assert_eq!(s.iters, 3);
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn json_number_handles_non_finite() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn reporter_writes_schema_conformant_json() {
+        let dir = std::env::temp_dir().join(format!("bench-json-test-{}", std::process::id()));
+        let mut rep = Reporter::new("selftest");
+        rep.case("case/plain", 10, 2, || 1 + 1);
+        // sleep long enough that the median is never zero, so the
+        // throughput record is deterministic
+        rep.case_throughput("case/tp", 20, 2, "items/sec", 100.0, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        assert!(rep.throughput_of("case/tp").is_some());
+        assert!(rep.throughput_of("case/plain").is_none());
+        let path = rep.finish_to(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(path.file_name().unwrap(), "BENCH_selftest.json");
+        for needle in [
+            "\"schema\": 1",
+            "\"bench\": \"selftest\"",
+            "\"id\": \"case/plain\"",
+            "\"size\": 10",
+            "\"ns_per_iter\":",
+            "\"throughput\": null",
+            "\"unit\": \"items/sec\"",
+            "\"per_sec\":",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn sized_picks_by_smoke_mode() {
+        // BENCH_SMOKE is not set in the test environment by default.
+        if !smoke() {
+            assert_eq!(sized(100, 5), 100);
+        }
     }
 }

@@ -214,6 +214,33 @@ impl BitVec {
         &self.words
     }
 
+    /// Mutable access to the underlying words.
+    ///
+    /// This is the word-parallel fast path: callers operate on whole `u64`
+    /// words (64 bits per instruction) instead of bit-at-a-time `get`/`set`.
+    ///
+    /// **Invariant:** bits at positions `>= len` inside the last word must
+    /// stay zero so that equality, hashing, `count_ones` and `parity` can
+    /// work on raw words. Any write that may set tail bits (shifts, fills,
+    /// negations) must be followed by [`BitVec::mask_tail`].
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Re-establishes the tail invariant after raw word writes: clears every
+    /// bit at position `>= len` in the last word.
+    ///
+    /// Word-level writers ([`BitVec::as_words_mut`]) call this once at the
+    /// end instead of masking inside their inner loops.
+    pub fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
     /// Index of the lowest set bit, if any.
     pub fn first_one(&self) -> Option<usize> {
         for (wi, &w) in self.words.iter().enumerate() {
@@ -227,22 +254,10 @@ impl BitVec {
     /// Returns a copy extended (with zeros) or truncated to `new_len` bits.
     pub fn resized(&self, new_len: usize) -> BitVec {
         let mut out = BitVec::zeros(new_len);
-        let n = new_len.min(self.len);
-        for i in 0..n {
-            if self.get(i) {
-                out.set(i, true);
-            }
-        }
+        let n_words = out.words.len().min(self.words.len());
+        out.words[..n_words].copy_from_slice(&self.words[..n_words]);
+        out.mask_tail();
         out
-    }
-
-    fn mask_tail(&mut self) {
-        let rem = self.len % WORD_BITS;
-        if rem != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << rem) - 1;
-            }
-        }
     }
 }
 
@@ -432,5 +447,51 @@ mod tests {
     fn from_bools_collect() {
         let v: BitVec = [true, false, true].into_iter().collect();
         assert_eq!(v.to_bools(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn as_words_mut_roundtrips_through_bit_api() {
+        // 67 bits: one full word plus a 3-bit tail.
+        let mut v = BitVec::zeros(67);
+        v.as_words_mut()[0] = 0xDEAD_BEEF_0BAD_F00D;
+        v.as_words_mut()[1] = 0b101;
+        for i in 0..67 {
+            let word = [0xDEAD_BEEF_0BAD_F00Du64, 0b101][i / 64];
+            assert_eq!(v.get(i), (word >> (i % 64)) & 1 == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn mask_tail_restores_invariant_after_raw_fill() {
+        for len in [1usize, 63, 64, 65, 67, 128, 130] {
+            let mut v = BitVec::zeros(len);
+            v.as_words_mut().fill(!0u64);
+            v.mask_tail();
+            assert_eq!(v.count_ones(), len, "len {len}");
+            // tail-masked words compare equal to the canonical all-ones
+            assert_eq!(v, BitVec::ones(len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn mask_tail_is_noop_on_word_multiple_lengths() {
+        let mut v = BitVec::zeros(128);
+        v.as_words_mut().fill(!0u64);
+        v.mask_tail();
+        assert_eq!(v.count_ones(), 128);
+    }
+
+    #[test]
+    fn word_level_xor_matches_bit_level() {
+        let mut rng = SplitMix64::new(11);
+        let a = BitVec::random(99, &mut rng);
+        let b = BitVec::random(99, &mut rng);
+        let mut word_level = a.clone();
+        for (w, x) in word_level.as_words_mut().iter_mut().zip(b.as_words()) {
+            *w ^= x;
+        }
+        let mut bit_level = a.clone();
+        bit_level.xor_assign(&b);
+        assert_eq!(word_level, bit_level);
     }
 }

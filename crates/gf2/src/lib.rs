@@ -10,9 +10,12 @@
 //! * [`BitMatrix`] — a dense row-major matrix of [`BitVec`] rows, used for
 //!   LFSR companion matrices and the scan-obfuscation mask matrices
 //!   `T_in` / `T_out`.
-//! * [`LinSolver`] — Gaussian elimination: rank, consistency, a particular
-//!   solution and a nullspace basis, plus solution enumeration (used to
-//!   analyze seed-candidate sets).
+//! * [`LinSolver`] — incremental Gaussian elimination: rank, consistency, a
+//!   particular solution and a nullspace basis, plus solution enumeration
+//!   (used to analyze seed-candidate sets).
+//! * [`m4ri`] — blocked batch elimination (Method of the Four Russians);
+//!   the word-parallel fast path behind [`solve_system`],
+//!   [`BitMatrix::rank`] and [`BitMatrix::nullspace`].
 //! * [`SplitMix64`] / [`Xoshiro256`] — dependency-free deterministic PRNGs
 //!   so synthetic benchmark generation is reproducible bit-for-bit.
 //!
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod bitvec;
+pub mod m4ri;
 mod matrix;
 mod rng;
 mod solve;

@@ -1,0 +1,324 @@
+//! Blocked GF(2) elimination — the Method of the Four Russians (M4RI).
+//!
+//! Plain Gauss–Jordan elimination XORs one pivot row into every row that
+//! has a bit in the pivot column: `O(rows)` row-XORs *per column*. M4RI
+//! processes columns in blocks of `k`. For each block it finds up to `k`
+//! pivot rows (mutually reduced, so they form an identity on the pivot
+//! columns), precomputes all `2^k` XOR-combinations of those pivot rows in
+//! a Gray-code table, and then clears the whole block from every other row
+//! with a **single** table-lookup XOR per row. That replaces up to `k`
+//! row-XORs per row with one, for an asymptotic `O(n³ / (64 · k))` instead
+//! of `O(n³ / 64)` word operations (see DESIGN.md §5 for the block-size
+//! choice).
+//!
+//! Both the blocked routine and the plain Gaussian reference reduce to
+//! *reduced* row echelon form (RREF) in place and return the pivot
+//! columns, so they are drop-in interchangeable; differential tests and
+//! the `wordpar` bench exercise exactly that interchangeability.
+
+use crate::BitVec;
+
+/// Default column-block width. `2^k` table rows must stay small next to
+/// the row count for the table build to amortize; 8 keeps the table at
+/// 256 rows (64 KiB for 2048-bit rows) while already dividing the cleanup
+/// work by ~8 on attack-sized systems.
+pub const DEFAULT_BLOCK: usize = 8;
+
+/// Largest accepted block width (table memory doubles per step).
+const MAX_BLOCK: usize = 16;
+
+/// Reduces `rows` to reduced row echelon form in place using M4RI with the
+/// default block size and returns the pivot columns.
+///
+/// After the call, row `i` (for `i < pivots.len()`) is the unique row with
+/// a leading 1 in column `pivots[i]`, `pivots` is strictly increasing, and
+/// every row from `pivots.len()` on is zero.
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths.
+pub fn rref(rows: &mut [BitVec]) -> Vec<usize> {
+    rref_with_block(rows, DEFAULT_BLOCK)
+}
+
+/// [`rref`] with an explicit column-block width `k` (clamped to `1..=16`).
+pub fn rref_with_block(rows: &mut [BitVec], k: usize) -> Vec<usize> {
+    let n = rows.len();
+    let cols = rows.first().map_or(0, BitVec::len);
+    assert!(
+        rows.iter().all(|r| r.len() == cols),
+        "all rows must share one length"
+    );
+    if n == 0 || cols == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, MAX_BLOCK);
+    let words = rows[0].as_words().len();
+    // Flat 2^k × words combination table, rebuilt per block. Entry `t` is
+    // the XOR of the block pivot rows selected by the bits of `t`.
+    let mut table: Vec<u64> = vec![0; (1usize << k) * words];
+
+    let mut pivots: Vec<usize> = Vec::new();
+    let mut r = 0; // rows 0..r are settled pivot rows from earlier blocks
+    let mut c = 0;
+    while c < cols && r < n {
+        let kb = k.min(cols - c);
+        // Step 1: find up to `kb` pivots among rows r.., columns c..c+kb.
+        // Each scanned row is first reduced by the block pivots found so
+        // far, so the block pivot rows end up mutually reduced (identity
+        // pattern on their pivot columns) — the property the table lookup
+        // in step 3 relies on.
+        let mut block_cols: Vec<usize> = Vec::with_capacity(kb);
+        let mut i = r;
+        while i < n && block_cols.len() < kb {
+            for (bi, &bcol) in block_cols.iter().enumerate() {
+                if rows[i].get(bcol) {
+                    let (pivot_part, rest) = rows.split_at_mut(i);
+                    rest[0].xor_assign(&pivot_part[r + bi]);
+                }
+            }
+            if let Some(col) = (c..c + kb).find(|&col| rows[i].get(col)) {
+                let p = r + block_cols.len();
+                rows.swap(p, i);
+                for bi in 0..block_cols.len() {
+                    if rows[r + bi].get(col) {
+                        let (head, tail) = rows.split_at_mut(p);
+                        head[r + bi].xor_assign(&tail[0]);
+                    }
+                }
+                block_cols.push(col);
+            }
+            i += 1;
+        }
+        let p = block_cols.len();
+        if p == 0 {
+            c += kb;
+            continue;
+        }
+
+        // Step 2: build the 2^p combination table incrementally: the upper
+        // half for each new pivot row is the lower half XOR that row.
+        table[..words].fill(0);
+        for bi in 0..p {
+            let (lo, hi) = table.split_at_mut((1 << bi) * words);
+            let pivot_words = rows[r + bi].as_words();
+            for t in 0..(1usize << bi) {
+                for w in 0..words {
+                    hi[t * words + w] = lo[t * words + w] ^ pivot_words[w];
+                }
+            }
+        }
+
+        // Step 3: clear the block's pivot columns from every non-pivot row
+        // (rows above for the Jordan part, rows below for the forward
+        // part) with one table XOR each.
+        for (ri, row) in rows.iter_mut().enumerate() {
+            if ri >= r && ri < r + p {
+                continue;
+            }
+            let mut idx = 0usize;
+            for (bi, &bcol) in block_cols.iter().enumerate() {
+                idx |= usize::from(row.get(bcol)) << bi;
+            }
+            if idx != 0 {
+                let entry = &table[idx * words..(idx + 1) * words];
+                for (w, e) in row.as_words_mut().iter_mut().zip(entry) {
+                    *w ^= e;
+                }
+            }
+        }
+
+        // Step 1 may discover block pivots out of column order (a later
+        // row can have an earlier leading column); restore ascending order
+        // among this block's pivot rows so the final form is canonical.
+        let mut order: Vec<usize> = (0..p).collect();
+        order.sort_by_key(|&bi| block_cols[bi]);
+        let reordered: Vec<BitVec> = order.iter().map(|&bi| rows[r + bi].clone()).collect();
+        for (bi, row) in reordered.into_iter().enumerate() {
+            rows[r + bi] = row;
+        }
+        pivots.extend(order.into_iter().map(|bi| block_cols[bi]));
+
+        r += p;
+        c += kb;
+    }
+    pivots
+}
+
+/// Plain Gauss–Jordan elimination to RREF: the scalar-reference
+/// counterpart of [`rref`], kept for differential testing and as the
+/// baseline the `wordpar` bench compares against.
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths.
+pub fn rref_gaussian(rows: &mut [BitVec]) -> Vec<usize> {
+    let cols = rows.first().map_or(0, BitVec::len);
+    assert!(
+        rows.iter().all(|r| r.len() == cols),
+        "all rows must share one length"
+    );
+    let mut pivots = Vec::new();
+    let mut r = 0;
+    for col in 0..cols {
+        let Some(p) = (r..rows.len()).find(|&i| rows[i].get(col)) else {
+            continue;
+        };
+        rows.swap(r, p);
+        let pivot = rows[r].clone();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i != r && row.get(col) {
+                row.xor_assign(&pivot);
+            }
+        }
+        pivots.push(col);
+        r += 1;
+        if r == rows.len() {
+            break;
+        }
+    }
+    pivots
+}
+
+/// Extracts a nullspace basis from rows already in RREF (as produced by
+/// [`rref`] / [`rref_gaussian`] with the returned `pivots`).
+///
+/// One basis vector per free column: it has a 1 at the free column and, for
+/// every pivot row with a 1 in that free column, a 1 at that row's pivot
+/// column.
+pub fn nullspace_from_rref(rows: &[BitVec], pivots: &[usize], cols: usize) -> Vec<BitVec> {
+    let mut is_pivot = vec![false; cols];
+    for &p in pivots {
+        is_pivot[p] = true;
+    }
+    let mut basis = Vec::with_capacity(cols - pivots.len());
+    for (free, _) in is_pivot.iter().enumerate().filter(|(_, &p)| !p) {
+        let mut v = BitVec::zeros(cols);
+        v.set(free, true);
+        for (row, &pcol) in rows.iter().zip(pivots) {
+            if row.get(free) {
+                v.set(pcol, true);
+            }
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitMatrix, Rng64, Xoshiro256};
+
+    fn random_rows(n: usize, cols: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = Xoshiro256::new(seed);
+        (0..n).map(|_| BitVec::random(cols, &mut rng)).collect()
+    }
+
+    #[test]
+    fn m4ri_matches_gaussian_on_random_matrices() {
+        for seed in 0..12 {
+            let mut rng = Xoshiro256::new(1000 + seed);
+            let n = 5 + rng.gen_index(60);
+            let cols = 5 + rng.gen_index(90);
+            let a = random_rows(n, cols, seed);
+            let mut m = a.clone();
+            let mut g = a.clone();
+            let pm = rref(&mut m);
+            let pg = rref_gaussian(&mut g);
+            assert_eq!(pm, pg, "pivots differ (seed {seed}, {n}x{cols})");
+            assert_eq!(m, g, "RREF differs (seed {seed}, {n}x{cols})");
+        }
+    }
+
+    #[test]
+    fn m4ri_matches_gaussian_across_block_sizes() {
+        let a = random_rows(70, 70, 99);
+        let mut reference = a.clone();
+        let pg = rref_gaussian(&mut reference);
+        for k in [1, 2, 3, 5, 8, 13, 16] {
+            let mut m = a.clone();
+            let pm = rref_with_block(&mut m, k);
+            assert_eq!(pm, pg, "pivots differ at k={k}");
+            assert_eq!(m, reference, "RREF differs at k={k}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_rows_reduce_to_zero() {
+        // Stack a matrix on top of XORs of its own rows: rank must not grow
+        // and the extra rows must vanish.
+        let base = random_rows(10, 40, 3);
+        let mut rows = base.clone();
+        for i in 0..10 {
+            let mut dup = base[i].clone();
+            dup.xor_assign(&base[(i + 3) % 10]);
+            rows.push(dup);
+        }
+        let mut g = rows.clone();
+        let pm = rref(&mut rows);
+        let pg = rref_gaussian(&mut g);
+        assert_eq!(pm, pg);
+        assert!(pm.len() <= 10);
+        for row in &rows[pm.len()..] {
+            assert!(row.is_zero());
+        }
+    }
+
+    #[test]
+    fn pivots_are_strictly_increasing_and_rows_canonical() {
+        let mut rows = random_rows(33, 50, 17);
+        let pivots = rref(&mut rows);
+        for w in pivots.windows(2) {
+            assert!(w[0] < w[1], "pivot columns must ascend");
+        }
+        for (i, &p) in pivots.iter().enumerate() {
+            assert_eq!(rows[i].first_one(), Some(p), "row {i} leading bit");
+            // pivot column appears in exactly one row
+            for (j, row) in rows.iter().enumerate().take(pivots.len()) {
+                assert_eq!(row.get(p), i == j, "pivot col {p} in row {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn nullspace_vectors_are_in_the_kernel() {
+        for seed in 0..6 {
+            let mut rng = Xoshiro256::new(500 + seed);
+            let n = 4 + rng.gen_index(20);
+            let cols = 6 + rng.gen_index(30);
+            let rows = random_rows(n, cols, 77 + seed);
+            let a = BitMatrix::from_rows(rows.clone());
+            let mut work = rows;
+            let pivots = rref(&mut work);
+            let basis = nullspace_from_rref(&work[..pivots.len()], &pivots, cols);
+            assert_eq!(basis.len(), cols - pivots.len(), "rank-nullity");
+            for v in &basis {
+                assert!(a.mul_vec(v).is_zero(), "basis vector not in kernel");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mut none: Vec<BitVec> = Vec::new();
+        assert!(rref(&mut none).is_empty());
+        let mut zero_width = vec![BitVec::zeros(0); 3];
+        assert!(rref(&mut zero_width).is_empty());
+        let mut zeros = vec![BitVec::zeros(10); 4];
+        assert!(rref(&mut zeros).is_empty());
+        let mut single = vec![BitVec::unit(5, 3)];
+        assert_eq!(rref(&mut single), vec![3]);
+    }
+
+    #[test]
+    fn identity_is_fixed_point() {
+        let n = 20;
+        let mut rows: Vec<BitVec> = (0..n).map(|i| BitVec::unit(n, i)).collect();
+        let pivots = rref(&mut rows);
+        assert_eq!(pivots, (0..n).collect::<Vec<_>>());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row, &BitVec::unit(n, i));
+        }
+    }
+}

@@ -196,28 +196,29 @@ impl BitMatrix {
         out
     }
 
-    /// Rank via Gaussian elimination on a working copy.
+    /// Rank via blocked M4RI elimination on a working copy (see
+    /// [`crate::m4ri`]).
     pub fn rank(&self) -> usize {
         let mut work = self.rows.clone();
-        let mut rank = 0;
-        for col in 0..self.cols {
-            // find pivot at or below `rank`
-            let Some(p) = (rank..work.len()).find(|&r| work[r].get(col)) else {
-                continue;
-            };
-            work.swap(rank, p);
-            let pivot = work[rank].clone();
-            for (r, row) in work.iter_mut().enumerate() {
-                if r != rank && row.get(col) {
-                    row.xor_assign(&pivot);
-                }
-            }
-            rank += 1;
-            if rank == work.len() {
-                break;
-            }
-        }
-        rank
+        crate::m4ri::rref(&mut work).len()
+    }
+
+    /// Rank via plain Gaussian elimination on a working copy.
+    ///
+    /// The scalar reference for [`BitMatrix::rank`]; differential tests and
+    /// the `wordpar` bench compare the two.
+    pub fn rank_gaussian(&self) -> usize {
+        let mut work = self.rows.clone();
+        crate::m4ri::rref_gaussian(&mut work).len()
+    }
+
+    /// A basis of the right nullspace `{x : A·x = 0}`, computed with M4RI
+    /// elimination. The basis has `num_cols() - rank()` vectors.
+    pub fn nullspace(&self) -> Vec<BitVec> {
+        let mut work = self.rows.clone();
+        let pivots = crate::m4ri::rref(&mut work);
+        let nrows = pivots.len();
+        crate::m4ri::nullspace_from_rref(&work[..nrows], &pivots, self.cols)
     }
 
     /// Inverse of a square matrix, or `None` if singular.

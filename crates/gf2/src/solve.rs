@@ -249,15 +249,57 @@ impl LinSolver {
     }
 }
 
-/// One-shot solve of `A·x = b`.
+/// One-shot solve of `A·x = b` via blocked M4RI elimination of the
+/// augmented matrix `[A | b]` (see [`crate::m4ri`]).
+///
+/// The incremental [`LinSolver`] path is the scalar reference for this
+/// batch routine; differential tests assert they agree.
 ///
 /// # Errors
 ///
 /// Returns [`SolveError`] if the system is inconsistent.
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.num_rows()`.
 pub fn solve_system(a: &BitMatrix, b: &BitVec) -> Result<LinSolution, SolveError> {
-    let mut s = LinSolver::new(a.num_cols());
-    s.add_system(a, b)?;
-    s.solve()
+    assert_eq!(a.num_rows(), b.len(), "system height mismatch");
+    let cols = a.num_cols();
+    // Augment each row with its right-hand side as one extra column so the
+    // elimination carries the rhs along for free.
+    let mut rows: Vec<BitVec> = a
+        .iter_rows()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut aug = row.resized(cols + 1);
+            if b.get(i) {
+                aug.set(cols, true);
+            }
+            aug
+        })
+        .collect();
+    let pivots = crate::m4ri::rref(&mut rows);
+    // A pivot in the rhs column is a row reading `0 = 1`.
+    if pivots.last() == Some(&cols) {
+        return Err(SolveError);
+    }
+    let mut particular = BitVec::zeros(cols);
+    for (row, &pcol) in rows.iter().zip(&pivots) {
+        if row.get(cols) {
+            particular.set(pcol, true);
+        }
+    }
+    // The nullspace ignores the augmented column: truncate rows back to the
+    // coefficient width (the rhs column is never a pivot here).
+    let coeff_rows: Vec<BitVec> = rows[..pivots.len()]
+        .iter()
+        .map(|r| r.resized(cols))
+        .collect();
+    let nullspace = crate::m4ri::nullspace_from_rref(&coeff_rows, &pivots, cols);
+    Ok(LinSolution {
+        particular,
+        nullspace,
+    })
 }
 
 #[cfg(test)]
@@ -379,5 +421,55 @@ mod tests {
         a.set(1, 0, true);
         let b = BitVec::from_bools([true, false]);
         assert!(solve_system(&a, &b).is_err());
+    }
+
+    /// The batch M4RI path must agree with the incremental LinSolver
+    /// reference on random systems: same consistency verdict, same
+    /// solution set.
+    #[test]
+    fn batch_solve_matches_incremental_reference() {
+        let mut rng = Xoshiro256::new(2024);
+        for trial in 0..20 {
+            let rows = 2 + rng.gen_index(30);
+            let cols = 2 + rng.gen_index(30);
+            let a = BitMatrix::random(rows, cols, &mut rng);
+            // Half the trials plant a solution (consistent); half draw a
+            // random rhs (inconsistent whenever rank(A) < rank([A|b])).
+            let b = if trial % 2 == 0 {
+                a.mul_vec(&BitVec::random(cols, &mut rng))
+            } else {
+                BitVec::random(rows, &mut rng)
+            };
+            let mut reference = LinSolver::new(cols);
+            let ref_result = reference.add_system(&a, &b);
+            let batch = solve_system(&a, &b);
+            match (ref_result, batch) {
+                (Ok(()), Ok(sol)) => {
+                    let ref_sol = reference.solve().unwrap();
+                    assert_eq!(a.mul_vec(&sol.particular), b, "trial {trial}");
+                    assert_eq!(sol.nullity(), ref_sol.nullity(), "trial {trial}");
+                    for n in &sol.nullspace {
+                        assert!(a.mul_vec(n).is_zero(), "trial {trial}");
+                    }
+                    assert!(ref_sol.contains(&sol.particular), "trial {trial}");
+                }
+                (Err(_), Err(_)) => {}
+                (r, b) => panic!("trial {trial}: reference {r:?} vs batch {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_solve_handles_rank_deficient_consistent_systems() {
+        let mut rng = Xoshiro256::new(7);
+        let mut a = BitMatrix::random(5, 8, &mut rng);
+        // duplicate rows => rank deficiency in the row space
+        let dup = a.row(1).clone();
+        a.push_row(dup);
+        let x = BitVec::random(8, &mut rng);
+        let b = a.mul_vec(&x);
+        let sol = solve_system(&a, &b).unwrap();
+        assert_eq!(a.mul_vec(&sol.particular), b);
+        assert!(sol.contains(&x));
     }
 }

@@ -65,18 +65,17 @@ impl Lfsr {
     }
 
     /// Advances one clock.
+    ///
+    /// The register shift runs at word level (`s'[j] = s[j-1]` is one
+    /// left-shift-with-carry per 64 bits); only the tap reads and the new
+    /// bit 0 touch individual bits.
     pub fn step(&mut self) {
         let feedback = self
             .taps
             .taps()
             .iter()
             .fold(false, |acc, &t| acc ^ self.state.get(t));
-        let w = self.state.len();
-        // shift up: s'[j] = s[j-1]
-        for j in (1..w).rev() {
-            let below = self.state.get(j - 1);
-            self.state.set(j, below);
-        }
+        shift_up_words(&mut self.state);
         self.state.set(0, feedback);
         self.steps += 1;
     }
@@ -133,11 +132,7 @@ impl GaloisLfsr {
     pub fn step(&mut self) {
         let w = self.state.len();
         let dropped = self.state.get(w - 1);
-        for j in (1..w).rev() {
-            let below = self.state.get(j - 1);
-            self.state.set(j, below);
-        }
-        self.state.set(0, false);
+        shift_up_words(&mut self.state);
         if dropped {
             self.state.flip(0);
             for &t in self.taps.taps() {
@@ -147,6 +142,19 @@ impl GaloisLfsr {
             }
         }
     }
+}
+
+/// Word-level register shift `s'[j] = s[j-1]` with `s'[0] = 0`: each word
+/// shifts left by one and takes the previous word's top bit as carry.
+fn shift_up_words(state: &mut BitVec) {
+    let mut carry = 0u64;
+    for w in state.as_words_mut() {
+        let next_carry = *w >> 63;
+        *w = (*w << 1) | carry;
+        carry = next_carry;
+    }
+    // the shift can push a live bit past `len` inside the last word
+    state.mask_tail();
 }
 
 #[cfg(test)]
@@ -247,6 +255,33 @@ mod tests {
         let mut g = GaloisLfsr::new(taps, BitVec::zeros(8));
         g.step();
         assert!(g.state().is_zero());
+    }
+
+    #[test]
+    fn word_shift_matches_bit_shift_at_awkward_widths() {
+        // Cross-check the word-level register shift against a bit-by-bit
+        // reference at widths straddling word boundaries.
+        for width in [3usize, 63, 64, 65, 67, 100, 130] {
+            let taps = if width == 3 {
+                taps3()
+            } else {
+                TapSet::new(width, vec![width / 2, width - 1]).unwrap()
+            };
+            let mut rng = SplitMix64::new(width as u64);
+            let seed = BitVec::random(width, &mut rng);
+            let mut fast = Lfsr::new(taps.clone(), seed.clone());
+            let mut slow = seed;
+            for step in 0..200 {
+                let feedback = taps.taps().iter().fold(false, |acc, &t| acc ^ slow.get(t));
+                for j in (1..width).rev() {
+                    let below = slow.get(j - 1);
+                    slow.set(j, below);
+                }
+                slow.set(0, feedback);
+                fast.step();
+                assert_eq!(fast.state(), &slow, "width {width} step {step}");
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,32 @@ impl SeedRecovery {
         self.solver.add_equation(row, obs.value)
     }
 
+    /// Adds a batch of observations, returning how many were independent.
+    ///
+    /// Observations are sorted by cycle first so the cached symbolic
+    /// register advances monotonically (one word-parallel
+    /// [`SymbolicLfsr::run`] sweep) instead of restarting on every
+    /// out-of-order cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] at the first contradictory observation; all
+    /// observations before it (in cycle order) remain incorporated.
+    pub fn observe_all(
+        &mut self,
+        obs: impl IntoIterator<Item = Observation>,
+    ) -> Result<usize, SolveError> {
+        let mut batch: Vec<Observation> = obs.into_iter().collect();
+        batch.sort_by_key(|o| o.cycle);
+        let mut independent = 0;
+        for o in batch {
+            if self.observe(o)? {
+                independent += 1;
+            }
+        }
+        Ok(independent)
+    }
+
     /// Number of independent equations gathered so far.
     pub fn rank(&self) -> usize {
         self.solver.rank()
@@ -215,6 +241,68 @@ mod tests {
             })
             .unwrap());
         assert_eq!(rec.rank(), 1);
+    }
+
+    #[test]
+    fn observe_all_matches_one_at_a_time() {
+        let taps = TapSet::maximal(12).unwrap();
+        let mut rng = SplitMix64::new(13);
+        let secret = BitVec::random(12, &mut rng);
+        let pairs: Vec<(u64, usize)> = (0..25)
+            .map(|_| (rng.gen_range(100), rng.gen_index(12)))
+            .collect();
+        // collect the true values
+        let mut chip = Lfsr::new(taps.clone(), secret.clone());
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        let mut values = std::collections::HashMap::new();
+        for &(cycle, bit) in &sorted {
+            chip.run(cycle - chip.steps_taken());
+            values.insert((cycle, bit), chip.bit(bit));
+        }
+        let observations: Vec<Observation> = pairs
+            .iter()
+            .map(|&(cycle, bit)| Observation {
+                cycle,
+                bit_index: bit,
+                value: values[&(cycle, bit)],
+            })
+            .collect();
+
+        // batch (deliberately unsorted input)
+        let mut batch = SeedRecovery::new(taps.clone());
+        let independent = batch.observe_all(observations.clone()).unwrap();
+        assert_eq!(independent, batch.rank());
+
+        // one-at-a-time reference, sorted ascending
+        let mut single = SeedRecovery::new(taps);
+        let mut obs_sorted = observations;
+        obs_sorted.sort_by_key(|o| o.cycle);
+        for o in obs_sorted {
+            single.observe(o).unwrap();
+        }
+        assert_eq!(batch.rank(), single.rank());
+        assert_eq!(batch.solution(), single.solution());
+    }
+
+    #[test]
+    fn observe_all_reports_contradiction() {
+        let taps = TapSet::maximal(8).unwrap();
+        let mut rec = SeedRecovery::new(taps);
+        let err = rec.observe_all([
+            Observation {
+                cycle: 2,
+                bit_index: 1,
+                value: true,
+            },
+            Observation {
+                cycle: 2,
+                bit_index: 1,
+                value: false,
+            },
+        ]);
+        assert!(err.is_err());
+        assert_eq!(rec.rank(), 1, "first observation survives");
     }
 
     #[test]

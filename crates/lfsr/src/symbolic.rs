@@ -39,6 +39,9 @@ pub struct SymbolicLfsr {
     taps: TapSet,
     /// `rows[j]` is the linear form of state bit `j`.
     rows: VecDeque<BitVec>,
+    /// Reused feedback accumulator: `step` swaps it with the evicted row,
+    /// so batch stepping allocates nothing after construction.
+    scratch: BitVec,
     steps: u64,
 }
 
@@ -51,6 +54,7 @@ impl SymbolicLfsr {
         SymbolicLfsr {
             taps,
             rows,
+            scratch: BitVec::zeros(w),
             steps: 0,
         }
     }
@@ -72,18 +76,24 @@ impl SymbolicLfsr {
 
     /// Advances one cycle: the new bit-0 form is the XOR of the tapped
     /// forms; all other forms shift up.
+    ///
+    /// The accumulation is word-parallel (`xor_assign` works 64 seed
+    /// coefficients per instruction) and allocation-free: the evicted
+    /// bottom row's storage is recycled as the next feedback accumulator.
     pub fn step(&mut self) {
-        let w = self.taps.width();
-        let mut fb = BitVec::zeros(w);
+        self.scratch.as_words_mut().fill(0);
         for &t in self.taps.taps() {
-            fb.xor_assign(&self.rows[t]);
+            self.scratch.xor_assign(&self.rows[t]);
         }
-        self.rows.pop_back();
-        self.rows.push_front(fb);
+        let mut evicted = self.rows.pop_back().expect("width is at least 1");
+        std::mem::swap(&mut evicted, &mut self.scratch);
+        self.rows.push_front(evicted);
         self.steps += 1;
     }
 
-    /// Advances `n` cycles.
+    /// Advances `n` cycles. This is the batch path the attack walks for
+    /// `2·FF + captures` cycles per model build; it reuses one scratch row
+    /// across all `n` steps.
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
             self.step();

@@ -81,6 +81,8 @@ pub struct Circuit {
     pub(crate) drivers: Vec<Driver>,
     /// Gate indices in topological order (computed at validation).
     pub(crate) topo_order: Vec<usize>,
+    /// Levelized flattened evaluation schedule (computed at validation).
+    pub(crate) schedule: crate::schedule::EvalSchedule,
 }
 
 impl Circuit {
@@ -129,6 +131,13 @@ impl Circuit {
     /// (inputs and flop outputs are sources).
     pub fn topo_gates(&self) -> &[usize] {
         &self.topo_order
+    }
+
+    /// The precomputed levelized evaluation schedule: gates sorted by
+    /// logic level with all fanin net indices flattened into one array.
+    /// Computed once at construction; evaluators reuse it on every pass.
+    pub fn schedule(&self) -> &crate::schedule::EvalSchedule {
+        &self.schedule
     }
 
     /// The name of a net.

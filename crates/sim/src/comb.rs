@@ -1,6 +1,6 @@
 //! Levelized evaluation of the combinational core.
 
-use netlist::{Circuit, NetId};
+use netlist::{Circuit, GateKind, NetId};
 
 /// Reusable combinational evaluator.
 ///
@@ -30,7 +30,6 @@ use netlist::{Circuit, NetId};
 pub struct Evaluator<'c> {
     circuit: &'c Circuit,
     values: Vec<bool>,
-    scratch: Vec<bool>,
 }
 
 impl<'c> Evaluator<'c> {
@@ -39,7 +38,6 @@ impl<'c> Evaluator<'c> {
         Evaluator {
             circuit,
             values: vec![false; circuit.num_nets()],
-            scratch: Vec::new(),
         }
     }
 
@@ -64,12 +62,26 @@ impl<'c> Evaluator<'c> {
         for (i, dff) in c.dffs().iter().enumerate() {
             self.values[dff.q.index()] = state[i];
         }
+        // Evaluate each gate by indexing `values` directly — no per-gate
+        // fanin copy. This stays on `topo_gates` order (independent of the
+        // levelized schedule) so it remains a reference implementation for
+        // the word-parallel path.
         for &gi in c.topo_gates() {
             let gate = &c.gates()[gi];
-            self.scratch.clear();
-            self.scratch
-                .extend(gate.inputs.iter().map(|n| self.values[n.index()]));
-            self.values[gate.output.index()] = gate.kind.eval(&self.scratch);
+            let vals = &self.values;
+            let out = match gate.kind {
+                GateKind::Buf => vals[gate.inputs[0].index()],
+                GateKind::Not => !vals[gate.inputs[0].index()],
+                GateKind::And => gate.inputs.iter().all(|n| vals[n.index()]),
+                GateKind::Nand => !gate.inputs.iter().all(|n| vals[n.index()]),
+                GateKind::Or => gate.inputs.iter().any(|n| vals[n.index()]),
+                GateKind::Nor => !gate.inputs.iter().any(|n| vals[n.index()]),
+                GateKind::Xor => gate.inputs.iter().fold(false, |a, n| a ^ vals[n.index()]),
+                GateKind::Xnor => !gate.inputs.iter().fold(false, |a, n| a ^ vals[n.index()]),
+                GateKind::Const0 => false,
+                GateKind::Const1 => true,
+            };
+            self.values[gate.output.index()] = out;
         }
     }
 

@@ -7,11 +7,18 @@
 //! reconstructed responses against the honest [`ScanChip`].
 //!
 //! * [`Evaluator`] — reusable levelized evaluation of the combinational core;
-//! * [`SeqSim`] — clock-by-clock functional simulation;
+//! * [`PackedEvaluator`] — the 64-lane word-parallel counterpart: one
+//!   `u64` per net evaluates 64 independent patterns per sweep;
+//! * [`SeqSim`] / [`PackedSeqSim`] — clock-by-clock functional simulation,
+//!   scalar and 64 lanes at once;
 //! * [`ScanChain`] — the order in which flops are stitched into the chain;
-//! * [`ScanChip`] — load / capture / unload test access, no obfuscation;
+//! * [`ScanChip`] / [`PackedScanChip`] — load / capture / unload test
+//!   access, no obfuscation, scalar and 64-lane;
 //! * [`ScanAccess`] — the oracle interface shared by unlocked and locked
 //!   chips (the attack only ever talks to this trait).
+//!
+//! The scalar paths are the differential-test references for the packed
+//! ones; see DESIGN.md §5 for the data layout.
 //!
 //! # Example
 //!
@@ -32,10 +39,12 @@
 
 mod comb;
 mod oracle;
+mod packed;
 mod scan;
 mod seq;
 
 pub use comb::Evaluator;
 pub use oracle::{ScanAccess, ScanResponse};
-pub use scan::{ScanChain, ScanChip};
-pub use seq::SeqSim;
+pub use packed::{pack_lanes, unpack_lane, PackedEvaluator};
+pub use scan::{PackedScanChip, PackedScanResponse, ScanChain, ScanChip};
+pub use seq::{PackedSeqSim, SeqSim};

@@ -1,0 +1,269 @@
+//! 64-lane word-parallel combinational evaluation.
+//!
+//! The scalar [`Evaluator`](crate::Evaluator) stores one `bool` per net
+//! and walks the circuit once per pattern. [`PackedEvaluator`] stores one
+//! `u64` per net — bit `l` of every word belongs to *lane* `l` — so a
+//! single sweep evaluates 64 independent patterns: every gate becomes one
+//! or two bitwise instructions per fanin instead of a per-pattern branch.
+//! Both evaluators implement identical semantics; the scalar one is the
+//! differential-test reference (DESIGN.md §5).
+//!
+//! Gate visits follow the circuit's precomputed
+//! [`EvalSchedule`](netlist::EvalSchedule): levelized order with a
+//! flattened fanin index, so the inner loop is a linear walk over two
+//! dense arrays with no per-gate allocation or pointer chasing.
+
+use netlist::{Circuit, GateKind, NetId};
+
+/// Packs up to 64 per-pattern `bool` vectors into lane words.
+///
+/// `patterns[l]` becomes lane `l`: the returned vector has one `u64` per
+/// position, with bit `l` of word `i` equal to `patterns[l][i]`. Unused
+/// lanes (when fewer than 64 patterns are given) are zero.
+///
+/// # Panics
+///
+/// Panics if more than 64 patterns are given or lengths differ.
+pub fn pack_lanes(patterns: &[Vec<bool>]) -> Vec<u64> {
+    assert!(patterns.len() <= 64, "at most 64 lanes per word");
+    let len = patterns.first().map_or(0, Vec::len);
+    assert!(
+        patterns.iter().all(|p| p.len() == len),
+        "all patterns must share one length"
+    );
+    let mut words = vec![0u64; len];
+    for (lane, pattern) in patterns.iter().enumerate() {
+        for (i, &bit) in pattern.iter().enumerate() {
+            words[i] |= u64::from(bit) << lane;
+        }
+    }
+    words
+}
+
+/// Extracts one lane from packed words: the inverse of [`pack_lanes`].
+///
+/// # Panics
+///
+/// Panics if `lane >= 64`.
+pub fn unpack_lane(words: &[u64], lane: usize) -> Vec<bool> {
+    assert!(lane < 64, "lane {lane} out of range");
+    words.iter().map(|&w| (w >> lane) & 1 == 1).collect()
+}
+
+/// Reusable 64-lane combinational evaluator.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{CircuitBuilder, GateKind};
+/// use sim::PackedEvaluator;
+///
+/// let mut b = CircuitBuilder::new("xor");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let z = b.gate(GateKind::Xor, &[x, y], "z");
+/// b.output(z);
+/// let c = b.finish().unwrap();
+///
+/// let mut ev = PackedEvaluator::new(&c);
+/// // lane l of each input word is that lane's pattern bit
+/// ev.eval(&[0b01, 0b11], &[]);
+/// assert_eq!(ev.output_values(), vec![0b10]); // 0^1=1 in lane 1 only
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedEvaluator<'c> {
+    circuit: &'c Circuit,
+    values: Vec<u64>,
+}
+
+impl<'c> PackedEvaluator<'c> {
+    /// Creates an evaluator for `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        PackedEvaluator {
+            circuit,
+            values: vec![0; circuit.num_nets()],
+        }
+    }
+
+    /// The circuit being evaluated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Evaluates all nets for 64 lanes at once from packed primary-input
+    /// words and packed flop-output words (`state[i]` is the Q word of
+    /// `circuit.dffs()[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pis` or `state` have the wrong length.
+    pub fn eval(&mut self, pis: &[u64], state: &[u64]) {
+        let c = self.circuit;
+        assert_eq!(pis.len(), c.inputs().len(), "PI count mismatch");
+        assert_eq!(state.len(), c.dffs().len(), "state length mismatch");
+        for (i, &net) in c.inputs().iter().enumerate() {
+            self.values[net.index()] = pis[i];
+        }
+        for (i, dff) in c.dffs().iter().enumerate() {
+            self.values[dff.q.index()] = state[i];
+        }
+        let sched = c.schedule();
+        let fanins = sched.fanins();
+        let values = &mut self.values;
+        for op in sched.ops() {
+            let ins = &fanins[op.fanin_start as usize..op.fanin_end as usize];
+            let word = match op.kind {
+                GateKind::Buf => values[ins[0] as usize],
+                GateKind::Not => !values[ins[0] as usize],
+                GateKind::And => ins.iter().fold(!0u64, |acc, &f| acc & values[f as usize]),
+                GateKind::Nand => !ins.iter().fold(!0u64, |acc, &f| acc & values[f as usize]),
+                GateKind::Or => ins.iter().fold(0u64, |acc, &f| acc | values[f as usize]),
+                GateKind::Nor => !ins.iter().fold(0u64, |acc, &f| acc | values[f as usize]),
+                GateKind::Xor => ins.iter().fold(0u64, |acc, &f| acc ^ values[f as usize]),
+                GateKind::Xnor => !ins.iter().fold(0u64, |acc, &f| acc ^ values[f as usize]),
+                GateKind::Const0 => 0,
+                GateKind::Const1 => !0u64,
+            };
+            values[op.output as usize] = word;
+        }
+    }
+
+    /// Packed value of a net after the last [`PackedEvaluator::eval`].
+    pub fn value(&self, net: NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    /// Value of a net in one lane after the last eval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn lane_value(&self, net: NetId, lane: usize) -> bool {
+        assert!(lane < 64, "lane {lane} out of range");
+        (self.values[net.index()] >> lane) & 1 == 1
+    }
+
+    /// Packed values of the primary outputs after the last eval.
+    pub fn output_values(&self) -> Vec<u64> {
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|&n| self.value(n))
+            .collect()
+    }
+
+    /// Packed next-state vector (each flop's D word) after the last eval.
+    pub fn next_state(&self) -> Vec<u64> {
+        self.circuit
+            .dffs()
+            .iter()
+            .map(|dff| self.value(dff.d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use gf2::{Rng64, SplitMix64};
+    use netlist::generator::GeneratorConfig;
+    use netlist::CircuitBuilder;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut rng = SplitMix64::new(3);
+        let patterns: Vec<Vec<bool>> = (0..64)
+            .map(|_| (0..17).map(|_| rng.next_u64() & 1 == 1).collect())
+            .collect();
+        let words = pack_lanes(&patterns);
+        assert_eq!(words.len(), 17);
+        for (lane, pattern) in patterns.iter().enumerate() {
+            assert_eq!(&unpack_lane(&words, lane), pattern, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn pack_fewer_than_64_lanes_zero_fills() {
+        let words = pack_lanes(&[vec![true, false]]);
+        assert_eq!(words, vec![1, 0]);
+        assert_eq!(unpack_lane(&words, 63), vec![false, false]);
+    }
+
+    #[test]
+    fn every_gate_kind_matches_scalar_on_all_lane_patterns() {
+        // A circuit exercising every kind; 64 lanes of random stimulus.
+        let mut b = CircuitBuilder::new("kinds");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let g0 = b.gate(GateKind::Buf, &[x], "g0");
+        let g1 = b.gate(GateKind::Not, &[y], "g1");
+        let g2 = b.gate(GateKind::And, &[x, y, z], "g2");
+        let g3 = b.gate(GateKind::Nand, &[g0, g1], "g3");
+        let g4 = b.gate(GateKind::Or, &[g2, g3, z], "g4");
+        let g5 = b.gate(GateKind::Nor, &[x, g4], "g5");
+        let g6 = b.gate(GateKind::Xor, &[g4, g5, y], "g6");
+        let g7 = b.gate(GateKind::Xnor, &[g6, z], "g7");
+        let c0 = b.gate(GateKind::Const0, &[], "c0");
+        let c1 = b.gate(GateKind::Const1, &[], "c1");
+        let g8 = b.gate(GateKind::Or, &[g7, c0, c1], "g8");
+        b.output(g8);
+        b.output(g6);
+        let c = b.finish().unwrap();
+
+        let mut rng = SplitMix64::new(9);
+        let pi_words: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        let mut packed = PackedEvaluator::new(&c);
+        packed.eval(&pi_words, &[]);
+        let mut scalar = Evaluator::new(&c);
+        for lane in 0..64 {
+            let pis = unpack_lane(&pi_words, lane);
+            scalar.eval(&pis, &[]);
+            for net in [g0, g1, g2, g3, g4, g5, g6, g7, g8] {
+                assert_eq!(
+                    packed.lane_value(net, lane),
+                    scalar.value(net),
+                    "net {net} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_circuit_all_lanes_match_scalar() {
+        let cfg = GeneratorConfig::new("packed-diff", 8, 6, 12, 120).with_seed(42);
+        let c = cfg.generate();
+        let mut rng = SplitMix64::new(77);
+        let pis: Vec<u64> = (0..c.inputs().len()).map(|_| rng.next_u64()).collect();
+        let state: Vec<u64> = (0..c.num_dffs()).map(|_| rng.next_u64()).collect();
+
+        let mut packed = PackedEvaluator::new(&c);
+        packed.eval(&pis, &state);
+        let packed_po = packed.output_values();
+        let packed_ns = packed.next_state();
+
+        let mut scalar = Evaluator::new(&c);
+        for lane in 0..64 {
+            scalar.eval(&unpack_lane(&pis, lane), &unpack_lane(&state, lane));
+            assert_eq!(
+                unpack_lane(&packed_po, lane),
+                scalar.output_values(),
+                "PO lane {lane}"
+            );
+            assert_eq!(
+                unpack_lane(&packed_ns, lane),
+                scalar.next_state(),
+                "next-state lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PI count mismatch")]
+    fn wrong_pi_count_panics() {
+        let cfg = GeneratorConfig::new("p", 4, 2, 3, 20).with_seed(1);
+        let c = cfg.generate();
+        PackedEvaluator::new(&c).eval(&[0], &[0, 0, 0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Differential property tests for the word-parallel hot paths:
+//!
+//! * `PackedEvaluator` / `PackedScanChip` against the scalar `Evaluator` /
+//!   `ScanChip` on random netlist profiles and random scan-chain orders —
+//!   all 64 lanes must match bit-for-bit;
+//! * M4RI blocked elimination against plain Gaussian elimination on
+//!   random, rank-deficient, and inconsistent systems.
+//!
+//! The scalar paths are the semantic references (DESIGN.md §5); any
+//! divergence here is a bug in the packed/blocked fast paths.
+
+use dynunlock_repro::gf2::{self, m4ri, BitMatrix, BitVec, LinSolver, Rng64, Xoshiro256};
+use dynunlock_repro::netlist::generator::GeneratorConfig;
+use dynunlock_repro::netlist::profiles::PAPER_BENCHMARKS;
+use dynunlock_repro::sim::{
+    pack_lanes, unpack_lane, Evaluator, PackedEvaluator, PackedScanChip, ScanAccess, ScanChain,
+    ScanChip,
+};
+
+/// Random generator profiles spanning interface shapes: (pis, pos, dffs,
+/// gates, seed).
+const RANDOM_PROFILES: [(usize, usize, usize, usize, u64); 5] = [
+    (4, 3, 5, 40, 11),
+    (12, 9, 20, 300, 22),
+    (30, 18, 64, 900, 33),
+    (7, 7, 130, 500, 44),
+    (20, 40, 33, 1200, 55),
+];
+
+#[test]
+fn packed_evaluator_matches_scalar_on_random_profiles() {
+    for &(pis, pos, dffs, gates, seed) in &RANDOM_PROFILES {
+        let cfg =
+            GeneratorConfig::new(format!("diff{seed}"), pis, pos, dffs, gates).with_seed(seed);
+        let c = cfg.generate();
+        let mut rng = Xoshiro256::new(seed ^ 0xD1FF);
+        for round in 0..3 {
+            let pi_words: Vec<u64> = (0..c.inputs().len()).map(|_| rng.next_u64()).collect();
+            let st_words: Vec<u64> = (0..c.num_dffs()).map(|_| rng.next_u64()).collect();
+
+            let mut packed = PackedEvaluator::new(&c);
+            packed.eval(&pi_words, &st_words);
+            let po = packed.output_values();
+            let ns = packed.next_state();
+
+            let mut scalar = Evaluator::new(&c);
+            for lane in 0..64 {
+                scalar.eval(&unpack_lane(&pi_words, lane), &unpack_lane(&st_words, lane));
+                assert_eq!(
+                    unpack_lane(&po, lane),
+                    scalar.output_values(),
+                    "PO mismatch: profile seed {seed}, round {round}, lane {lane}"
+                );
+                assert_eq!(
+                    unpack_lane(&ns, lane),
+                    scalar.next_state(),
+                    "next-state mismatch: profile seed {seed}, round {round}, lane {lane}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_evaluator_matches_scalar_on_paper_profile() {
+    // One shrunken paper benchmark keeps the cross-check on realistic
+    // circuit shape without slowing the suite.
+    let c = PAPER_BENCHMARKS[0].scaled(0.25).build(0);
+    let mut rng = Xoshiro256::new(0xBEEF);
+    let pi_words: Vec<u64> = (0..c.inputs().len()).map(|_| rng.next_u64()).collect();
+    let st_words: Vec<u64> = (0..c.num_dffs()).map(|_| rng.next_u64()).collect();
+    let mut packed = PackedEvaluator::new(&c);
+    packed.eval(&pi_words, &st_words);
+    let mut scalar = Evaluator::new(&c);
+    for lane in 0..64 {
+        scalar.eval(&unpack_lane(&pi_words, lane), &unpack_lane(&st_words, lane));
+        for &out in c.outputs() {
+            assert_eq!(
+                packed.lane_value(out, lane),
+                scalar.value(out),
+                "lane {lane}"
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_scan_chip_matches_scalar_on_random_chain_orders() {
+    for &(pis, pos, dffs, gates, seed) in &RANDOM_PROFILES[..3] {
+        let cfg =
+            GeneratorConfig::new(format!("scan{seed}"), pis, pos, dffs, gates).with_seed(seed);
+        let c = cfg.generate();
+        let mut rng = Xoshiro256::new(seed ^ 0x5CA2);
+        for round in 0..3 {
+            let chain = ScanChain::shuffled(c.num_dffs(), &mut rng);
+            let patterns: Vec<Vec<bool>> = (0..64)
+                .map(|_| (0..c.num_dffs()).map(|_| rng.next_u64() & 1 == 1).collect())
+                .collect();
+            let pi_lanes: Vec<Vec<bool>> = (0..64)
+                .map(|_| {
+                    (0..c.inputs().len())
+                        .map(|_| rng.next_u64() & 1 == 1)
+                        .collect()
+                })
+                .collect();
+            let captures = 1 + (round % 3);
+
+            let mut packed = PackedScanChip::new(&c, chain.clone());
+            let resp =
+                packed.query_captures(&pack_lanes(&patterns), &pack_lanes(&pi_lanes), captures);
+
+            let mut scalar = ScanChip::new(&c, chain);
+            for lane in 0..64 {
+                let sresp = scalar.query_captures(&patterns[lane], &pi_lanes[lane], captures);
+                assert_eq!(
+                    unpack_lane(&resp.scan_out, lane),
+                    sresp.scan_out,
+                    "scan_out: seed {seed}, round {round}, lane {lane}"
+                );
+                assert_eq!(
+                    unpack_lane(&resp.po, lane),
+                    sresp.po,
+                    "po: seed {seed}, round {round}, lane {lane}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn m4ri_rref_matches_gaussian_on_random_systems() {
+    let mut rng = Xoshiro256::new(0x4121);
+    for trial in 0..25 {
+        let n = 2 + rng.gen_index(90);
+        let cols = 2 + rng.gen_index(140);
+        let rows: Vec<BitVec> = (0..n).map(|_| BitVec::random(cols, &mut rng)).collect();
+        let mut blocked = rows.clone();
+        let mut plain = rows;
+        let pb = m4ri::rref(&mut blocked);
+        let pp = m4ri::rref_gaussian(&mut plain);
+        assert_eq!(pb, pp, "pivots: trial {trial} ({n}x{cols})");
+        assert_eq!(blocked, plain, "RREF rows: trial {trial} ({n}x{cols})");
+    }
+}
+
+#[test]
+fn m4ri_rank_matches_gaussian_on_rank_deficient_matrices() {
+    let mut rng = Xoshiro256::new(0xDEF1);
+    for trial in 0..10 {
+        let base = 3 + rng.gen_index(25);
+        let cols = 10 + rng.gen_index(60);
+        let mut a = BitMatrix::random(base, cols, &mut rng);
+        // append random XOR-combinations of existing rows: rank unchanged
+        for _ in 0..base {
+            let mut combo = BitVec::zeros(cols);
+            for r in 0..base {
+                if rng.next_u64() & 1 == 1 {
+                    combo.xor_assign(a.row(r));
+                }
+            }
+            a.push_row(combo);
+        }
+        assert_eq!(a.rank(), a.rank_gaussian(), "trial {trial}");
+        assert!(a.rank() <= base, "trial {trial}");
+        for v in a.nullspace() {
+            assert!(a.mul_vec(&v).is_zero(), "trial {trial}");
+        }
+    }
+}
+
+#[test]
+fn m4ri_solve_agrees_with_incremental_solver_on_inconsistent_systems() {
+    let mut rng = Xoshiro256::new(0x1BAD);
+    let mut saw_inconsistent = false;
+    for trial in 0..30 {
+        // overdetermined systems with random rhs are frequently inconsistent
+        let cols = 2 + rng.gen_index(12);
+        let n = cols + 1 + rng.gen_index(10);
+        let a = BitMatrix::random(n, cols, &mut rng);
+        let b = BitVec::random(n, &mut rng);
+        let mut reference = LinSolver::new(cols);
+        let ref_ok = reference.add_system(&a, &b).is_ok();
+        let batch = gf2::solve_system(&a, &b);
+        assert_eq!(batch.is_ok(), ref_ok, "consistency verdict: trial {trial}");
+        if let Ok(sol) = batch {
+            assert_eq!(a.mul_vec(&sol.particular), b, "trial {trial}");
+            assert_eq!(
+                sol.nullity(),
+                reference.solve().unwrap().nullity(),
+                "trial {trial}"
+            );
+        } else {
+            saw_inconsistent = true;
+        }
+    }
+    assert!(
+        saw_inconsistent,
+        "test must exercise at least one inconsistent system"
+    );
+}
+
+#[test]
+fn m4ri_block_sizes_agree_on_one_large_system() {
+    let mut rng = Xoshiro256::new(0xB10C);
+    let rows: Vec<BitVec> = (0..200).map(|_| BitVec::random(200, &mut rng)).collect();
+    let mut reference = rows.clone();
+    let pivots = m4ri::rref_gaussian(&mut reference);
+    for k in [1, 4, 8, 12, 16] {
+        let mut work = rows.clone();
+        assert_eq!(m4ri::rref_with_block(&mut work, k), pivots, "k={k}");
+        assert_eq!(work, reference, "k={k}");
+    }
+}
