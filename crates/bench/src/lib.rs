@@ -85,6 +85,10 @@ struct Record {
     iters: u32,
     ns_per_iter: f64,
     throughput: Option<(String, f64)>,
+    /// Extra named numbers (insertion-ordered); serialized as a `"metrics"`
+    /// object only when non-empty, so cases without metrics keep the exact
+    /// schema-1 shape.
+    metrics: Vec<(String, f64)>,
 }
 
 /// Collects benchmark cases and writes them as machine-readable JSON.
@@ -106,6 +110,11 @@ struct Record {
 ///   ]
 /// }
 /// ```
+///
+/// Cases may additionally carry a `"metrics"` object of named numbers
+/// (added via [`Reporter::add_metric`]; omitted when empty), and one-shot
+/// workloads can be recorded with an externally measured duration via
+/// [`Reporter::record_timed`].
 #[derive(Debug)]
 pub struct Reporter {
     bench: String,
@@ -158,6 +167,40 @@ impl Reporter {
         sample
     }
 
+    /// Records a case that was timed *once*, externally (no warm-up, no
+    /// re-runs). For workloads where repetition is meaningless or too
+    /// expensive — a DynUnlock attack run is one adaptive oracle dialogue,
+    /// not a repeatable inner loop.
+    pub fn record_timed(&mut self, id: &str, size: u64, elapsed: Duration) {
+        println!("{id:<40}     1 iter            once {elapsed:>12?}");
+        let sample = Sample {
+            iters: 1,
+            median: elapsed,
+            total: elapsed,
+        };
+        self.record(id, size, sample, None);
+    }
+
+    /// Attaches a named metric to the most recently recorded case with
+    /// this `id` (e.g. DIP iterations or solver-only nanoseconds alongside
+    /// the case's wall-clock time). Re-adding a key overwrites it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no case with `id` has been recorded yet.
+    pub fn add_metric(&mut self, id: &str, key: &str, value: f64) {
+        let rec = self
+            .results
+            .iter_mut()
+            .rev()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("no recorded case with id {id:?}"));
+        match rec.metrics.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => rec.metrics.push((key.to_string(), value)),
+        }
+    }
+
     fn record(&mut self, id: &str, size: u64, sample: Sample, throughput: Option<(String, f64)>) {
         self.results.push(Record {
             id: id.to_string(),
@@ -165,6 +208,7 @@ impl Reporter {
             iters: sample.iters,
             ns_per_iter: sample.median.as_nanos() as f64,
             throughput,
+            metrics: Vec::new(),
         });
     }
 
@@ -214,12 +258,21 @@ impl Reporter {
             ));
             match &r.throughput {
                 Some((unit, per_sec)) => out.push_str(&format!(
-                    ", \"throughput\": {{\"unit\": {}, \"per_sec\": {}}}}}",
+                    ", \"throughput\": {{\"unit\": {}, \"per_sec\": {}}}",
                     json_string(unit),
                     json_number(*per_sec),
                 )),
-                None => out.push_str(", \"throughput\": null}"),
+                None => out.push_str(", \"throughput\": null"),
             }
+            if !r.metrics.is_empty() {
+                let body: Vec<String> = r
+                    .metrics
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", json_string(k), json_number(*v)))
+                    .collect();
+                out.push_str(&format!(", \"metrics\": {{{}}}", body.join(", ")));
+            }
+            out.push('}');
             out.push_str(if i + 1 < self.results.len() {
                 ",\n"
             } else {
@@ -399,6 +452,41 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn record_timed_and_metrics_serialize() {
+        let dir = std::env::temp_dir().join(format!("bench-json-metrics-{}", std::process::id()));
+        let mut rep = Reporter::new("metricstest");
+        rep.record_timed("attack/tiny", 8, Duration::from_micros(1500));
+        rep.add_metric("attack/tiny", "dip_iterations", 7.0);
+        rep.add_metric("attack/tiny", "solve_ns", 1.25e6);
+        rep.add_metric("attack/tiny", "dip_iterations", 9.0); // overwrite
+        rep.case("plain/no-metrics", 1, 2, || 0);
+        let path = rep.finish_to(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        for needle in [
+            "\"id\": \"attack/tiny\"",
+            "\"iters\": 1",
+            "\"ns_per_iter\": 1500000",
+            "\"metrics\": {\"dip_iterations\": 9, \"solve_ns\": 1250000}",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // A case without metrics keeps the original schema-1 line shape.
+        assert!(
+            text.contains("\"id\": \"plain/no-metrics\"")
+                && !text.contains("plain/no-metrics\", \"metrics\""),
+            "metrics object must be omitted when empty:\n{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no recorded case")]
+    fn add_metric_requires_existing_case() {
+        let mut rep = Reporter::new("metricstest");
+        rep.add_metric("missing/case", "k", 1.0);
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! The Tseitin encoder.
+
+use gf2::BitVec;
+use netlist::{Circuit, GateKind, NetId};
+use satsolver::{Lit, Solver};
+
+/// SAT literals for one combinational frame of a circuit.
+///
+/// Produced by [`Encoder::comb`]; every driven net of the frame has a
+/// literal, addressable either structurally (`po`, `next_state`) or by
+/// [`NetId`] via [`net`](CombCone::net).
+#[derive(Debug, Clone)]
+pub struct CombCone {
+    /// One literal per primary output, in circuit order.
+    pub po: Vec<Lit>,
+    /// One literal per flop D pin (the state *after* this frame's clock
+    /// edge), in `circuit.dffs()` order.
+    pub next_state: Vec<Lit>,
+    net_lits: Vec<Option<Lit>>,
+}
+
+impl CombCone {
+    /// The literal carrying `net` in this frame, if the net exists.
+    pub fn net(&self, net: NetId) -> Option<Lit> {
+        self.net_lits.get(net.index()).copied().flatten()
+    }
+}
+
+/// Incremental Tseitin encoder owning a [`Solver`].
+///
+/// The encoder hands out fresh variables, caches a single pinned constant
+/// variable, and knows how to turn gates, parities, and whole
+/// combinational frames into clauses. Callers keep pushing structure into
+/// the same solver instance — that is what makes the DynUnlock DIP loop
+/// incremental: each oracle observation adds a cone, nothing is re-encoded.
+///
+/// Returned literals are *logically* equal to the encoded function in every
+/// model of the clause set; gate outputs use fresh definition variables,
+/// while trivial cases (buffers, single-input gates, constant folding) are
+/// resolved to existing literals without new clauses.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    solver: Solver,
+    const_true: Option<Lit>,
+}
+
+impl Encoder {
+    /// A new encoder over an empty solver.
+    pub fn new() -> Encoder {
+        Encoder {
+            solver: Solver::new(),
+            const_true: None,
+        }
+    }
+
+    /// The underlying solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Mutable access to the underlying solver (to solve, assume, or add
+    /// ad-hoc clauses).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Consumes the encoder, returning the solver with everything encoded
+    /// so far.
+    pub fn into_solver(self) -> Solver {
+        self.solver
+    }
+
+    /// A fresh, unconstrained literal.
+    pub fn fresh(&mut self) -> Lit {
+        Lit::positive(self.solver.new_var())
+    }
+
+    /// `n` fresh, unconstrained literals.
+    pub fn fresh_many(&mut self, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| self.fresh()).collect()
+    }
+
+    /// The literal for a Boolean constant.
+    ///
+    /// All constants share one pinned variable, created lazily; encoding a
+    /// thousand constant nets costs one variable and one unit clause.
+    pub fn constant(&mut self, value: bool) -> Lit {
+        let t = match self.const_true {
+            Some(t) => t,
+            None => {
+                let t = self.fresh();
+                self.solver.add_clause(&[t]);
+                self.const_true = Some(t);
+                t
+            }
+        };
+        if value {
+            t
+        } else {
+            !t
+        }
+    }
+
+    /// If `lit` is (a polarity of) the pinned constant, its value.
+    fn as_const(&self, lit: Lit) -> Option<bool> {
+        let t = self.const_true?;
+        if lit == t {
+            Some(true)
+        } else if lit == !t {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the solver became unsatisfiable.
+    pub fn assert_clause(&mut self, lits: &[Lit]) -> bool {
+        self.solver.add_clause(lits)
+    }
+
+    /// Pins a literal true. Returns `false` on conflict.
+    pub fn assert_lit(&mut self, lit: Lit) -> bool {
+        self.solver.add_clause(&[lit])
+    }
+
+    /// Constrains two literals to be equal. Returns `false` on conflict.
+    pub fn assert_equal(&mut self, a: Lit, b: Lit) -> bool {
+        self.solver.add_clause(&[!a, b]) && self.solver.add_clause(&[a, !b])
+    }
+
+    /// A literal equal to `a ⊕ b`.
+    ///
+    /// Folds constants and syntactic (in)equality to existing literals; the
+    /// general case introduces one definition variable and four clauses.
+    pub fn xor2(&mut self, a: Lit, b: Lit) -> Lit {
+        if let Some(va) = self.as_const(a) {
+            return if va { !b } else { b };
+        }
+        if let Some(vb) = self.as_const(b) {
+            return if vb { !a } else { a };
+        }
+        if a == b {
+            return self.constant(false);
+        }
+        if a == !b {
+            return self.constant(true);
+        }
+        let z = self.fresh();
+        self.solver.add_clause(&[!z, a, b]);
+        self.solver.add_clause(&[!z, !a, !b]);
+        self.solver.add_clause(&[z, !a, b]);
+        self.solver.add_clause(&[z, a, !b]);
+        z
+    }
+
+    /// A literal equal to the XOR of all `lits` (false for an empty list).
+    pub fn parity(&mut self, lits: &[Lit]) -> Lit {
+        match lits.split_first() {
+            None => self.constant(false),
+            Some((&first, rest)) => rest.iter().fold(first, |acc, &l| self.xor2(acc, l)),
+        }
+    }
+
+    /// A literal equal to `row · lits` over GF(2): the XOR of every literal
+    /// whose row bit is set.
+    ///
+    /// This is how the attack turns a [`lfsr::SymbolicLfsr`] keystream row
+    /// into a mask literal over the seed variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != lits.len()`.
+    ///
+    /// [`lfsr::SymbolicLfsr`]: https://docs.rs/lfsr
+    pub fn linear_form(&mut self, lits: &[Lit], row: &BitVec) -> Lit {
+        assert_eq!(lits.len(), row.len(), "row width must match literal count");
+        let selected: Vec<Lit> = row.iter_ones().map(|i| lits[i]).collect();
+        self.parity(&selected)
+    }
+
+    /// A literal equal to the AND of `lits`, after folding constants.
+    fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut kept = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.as_const(l) {
+                Some(false) => return self.constant(false),
+                Some(true) => {}
+                None => kept.push(l),
+            }
+        }
+        match kept.len() {
+            0 => self.constant(true),
+            1 => kept[0],
+            _ => {
+                let z = self.fresh();
+                let mut top = Vec::with_capacity(kept.len() + 1);
+                top.push(z);
+                for &a in &kept {
+                    self.solver.add_clause(&[!z, a]);
+                    top.push(!a);
+                }
+                self.solver.add_clause(&top);
+                z
+            }
+        }
+    }
+
+    /// A literal equal to the OR of `lits`, after folding constants.
+    fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let flipped: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.and_many(&flipped)
+    }
+
+    /// A literal equal to `kind(inputs...)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is illegal for the kind (same contract as
+    /// [`GateKind::eval`]).
+    pub fn gate(&mut self, kind: GateKind, inputs: &[Lit]) -> Lit {
+        assert!(
+            kind.arity_ok(inputs.len()),
+            "{kind} cannot take {} inputs",
+            inputs.len()
+        );
+        match kind {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => self.and_many(inputs),
+            GateKind::Nand => !self.and_many(inputs),
+            GateKind::Or => self.or_many(inputs),
+            GateKind::Nor => !self.or_many(inputs),
+            GateKind::Xor => self.parity(inputs),
+            GateKind::Xnor => !self.parity(inputs),
+            GateKind::Const0 => self.constant(false),
+            GateKind::Const1 => self.constant(true),
+        }
+    }
+
+    /// Encodes one combinational frame of `circuit`: given literals for the
+    /// primary inputs and the current flop outputs, returns literals for
+    /// every driven net, the primary outputs, and the next state.
+    ///
+    /// Call repeatedly with the previous frame's `next_state` to time-unroll
+    /// a sequential circuit; each call only appends clauses, so the solver
+    /// instance (and everything it has learned) stays warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pis` or `state` have the wrong length.
+    pub fn comb(&mut self, circuit: &Circuit, pis: &[Lit], state: &[Lit]) -> CombCone {
+        assert_eq!(pis.len(), circuit.inputs().len(), "PI count mismatch");
+        assert_eq!(state.len(), circuit.dffs().len(), "state length mismatch");
+        let mut net_lits: Vec<Option<Lit>> = vec![None; circuit.num_nets()];
+        for (i, &net) in circuit.inputs().iter().enumerate() {
+            net_lits[net.index()] = Some(pis[i]);
+        }
+        for (i, dff) in circuit.dffs().iter().enumerate() {
+            net_lits[dff.q.index()] = Some(state[i]);
+        }
+        for &gi in circuit.topo_gates() {
+            let gate = &circuit.gates()[gi];
+            let ins: Vec<Lit> = gate
+                .inputs
+                .iter()
+                .map(|n| net_lits[n.index()].expect("topo order drives all fanins"))
+                .collect();
+            net_lits[gate.output.index()] = Some(self.gate(gate.kind, &ins));
+        }
+        let po = circuit
+            .outputs()
+            .iter()
+            .map(|n| net_lits[n.index()].expect("outputs are driven"))
+            .collect();
+        let next_state = circuit
+            .dffs()
+            .iter()
+            .map(|d| net_lits[d.d.index()].expect("D pins are driven"))
+            .collect();
+        CombCone {
+            po,
+            next_state,
+            net_lits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2::{Rng64, SplitMix64};
+    use netlist::generator::{s208_like, GeneratorConfig};
+    use satsolver::SolveResult;
+    use sim::Evaluator;
+
+    /// Assumption literals pinning `lits[i]` to `values[i]`.
+    fn pin(lits: &[Lit], values: &[bool]) -> Vec<Lit> {
+        lits.iter()
+            .zip(values)
+            .map(|(&l, &v)| if v { l } else { !l })
+            .collect()
+    }
+
+    /// Cross-checks the encoder against the interpreter on every driven
+    /// net for a batch of random stimuli.
+    fn cross_check(circuit: &netlist::Circuit, stimuli: usize, seed: u64) {
+        let mut enc = Encoder::new();
+        let pis = enc.fresh_many(circuit.inputs().len());
+        let state = enc.fresh_many(circuit.num_dffs());
+        let cone = enc.comb(circuit, &pis, &state);
+        let mut ev = Evaluator::new(circuit);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..stimuli {
+            let pi_vals: Vec<bool> = (0..pis.len()).map(|_| rng.gen_bool()).collect();
+            let st_vals: Vec<bool> = (0..state.len()).map(|_| rng.gen_bool()).collect();
+            let mut assumptions = pin(&pis, &pi_vals);
+            assumptions.extend(pin(&state, &st_vals));
+            assert_eq!(
+                enc.solver_mut().solve_assuming(&assumptions),
+                SolveResult::Sat,
+                "pinning free inputs is always satisfiable"
+            );
+            ev.eval(&pi_vals, &st_vals);
+            for idx in 0..circuit.num_nets() {
+                let net = circuit
+                    .gates()
+                    .iter()
+                    .map(|g| g.output)
+                    .chain(circuit.inputs().iter().copied())
+                    .chain(circuit.dffs().iter().map(|d| d.q))
+                    .find(|n| n.index() == idx);
+                let Some(net) = net else { continue };
+                let lit = cone.net(net).expect("driven net has a literal");
+                assert_eq!(
+                    enc.solver().lit_model_value(lit),
+                    Some(ev.value(net)),
+                    "net {net} disagrees on {pi_vals:?}/{st_vals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn s208_matches_evaluator_on_every_net() {
+        cross_check(&s208_like(), 16, 0xA1);
+    }
+
+    #[test]
+    fn random_circuits_match_evaluator() {
+        for seed in 0..4u64 {
+            let c = GeneratorConfig::new("xcheck", 6, 4, 10, 90)
+                .with_seed(seed)
+                .generate();
+            cross_check(&c, 8, seed.wrapping_mul(0x9E37));
+        }
+    }
+
+    #[test]
+    fn parity_and_linear_form_agree_with_bitvec_dot() {
+        let mut enc = Encoder::new();
+        let lits = enc.fresh_many(9);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..12 {
+            let row = BitVec::random(9, &mut rng);
+            let form = enc.linear_form(&lits, &row);
+            let values: Vec<bool> = (0..9).map(|_| rng.gen_bool()).collect();
+            let mut assumptions = pin(&lits, &values);
+            assumptions.push(form);
+            let expect = row.dot(&BitVec::from_bools(values.iter().copied()));
+            let sat = enc.solver_mut().solve_assuming(&assumptions) == SolveResult::Sat;
+            assert_eq!(sat, expect, "form must equal row·x for row {row:?}");
+        }
+    }
+
+    #[test]
+    fn xor2_folds_constants_and_duplicates() {
+        let mut enc = Encoder::new();
+        let a = enc.fresh();
+        let t = enc.constant(true);
+        let f = enc.constant(false);
+        assert_eq!(enc.xor2(a, f), a);
+        assert_eq!(enc.xor2(a, t), !a);
+        assert_eq!(enc.xor2(t, a), !a);
+        assert_eq!(enc.xor2(a, a), f);
+        assert_eq!(enc.xor2(a, !a), t);
+        // Nothing above should have created definition clauses: one unit
+        // clause for the pinned constant is all there is.
+        assert_eq!(enc.solver().num_clauses(), 0, "units live on the trail");
+        assert_eq!(enc.solver().num_vars(), 2);
+    }
+
+    #[test]
+    fn constant_is_cached_and_pinned() {
+        let mut enc = Encoder::new();
+        let t1 = enc.constant(true);
+        let f = enc.constant(false);
+        let t2 = enc.constant(true);
+        assert_eq!(t1, t2);
+        assert_eq!(f, !t1);
+        assert_eq!(enc.solver_mut().solve_assuming(&[f]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn gate_encoding_is_exhaustively_correct() {
+        // Every kind, arities 1..=3 where legal, all input combinations.
+        for kind in GateKind::ALL {
+            for arity in 0..=3usize {
+                if !kind.arity_ok(arity) {
+                    continue;
+                }
+                for bits in 0..1u32 << arity {
+                    let mut enc = Encoder::new();
+                    let ins = enc.fresh_many(arity);
+                    let out = enc.gate(kind, &ins);
+                    let vals: Vec<bool> = (0..arity).map(|i| bits >> i & 1 == 1).collect();
+                    let mut assumptions = pin(&ins, &vals);
+                    let expect = kind.eval(&vals);
+                    assumptions.push(if expect { out } else { !out });
+                    assert_eq!(
+                        enc.solver_mut().solve_assuming(&assumptions),
+                        SolveResult::Sat,
+                        "{kind} on {vals:?} must be {expect}"
+                    );
+                    let mut refute = pin(&ins, &vals);
+                    refute.push(if expect { !out } else { out });
+                    assert_eq!(
+                        enc.solver_mut().solve_assuming(&refute),
+                        SolveResult::Unsat,
+                        "{kind} on {vals:?} must not be {}",
+                        !expect
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_frames_track_sequential_evaluation() {
+        let c = s208_like();
+        let mut enc = Encoder::new();
+        let mut rng = SplitMix64::new(77);
+        let frames = 4;
+        let all_pis: Vec<Vec<Lit>> = (0..frames)
+            .map(|_| enc.fresh_many(c.inputs().len()))
+            .collect();
+        let mut state = enc.fresh_many(c.num_dffs());
+        let init = state.clone();
+        let mut cones = Vec::new();
+        for pis in &all_pis {
+            let cone = enc.comb(&c, pis, &state);
+            state = cone.next_state.clone();
+            cones.push(cone);
+        }
+
+        let st0: Vec<bool> = (0..c.num_dffs()).map(|_| rng.gen_bool()).collect();
+        let stimuli: Vec<Vec<bool>> = (0..frames)
+            .map(|_| (0..c.inputs().len()).map(|_| rng.gen_bool()).collect())
+            .collect();
+        let mut assumptions = pin(&init, &st0);
+        for (pis, vals) in all_pis.iter().zip(&stimuli) {
+            assumptions.extend(pin(pis, vals));
+        }
+        assert_eq!(
+            enc.solver_mut().solve_assuming(&assumptions),
+            SolveResult::Sat
+        );
+
+        let mut ev = Evaluator::new(&c);
+        let mut st = st0;
+        for (cone, vals) in cones.iter().zip(&stimuli) {
+            ev.eval(vals, &st);
+            let po: Vec<Option<bool>> = cone
+                .po
+                .iter()
+                .map(|&l| enc.solver().lit_model_value(l))
+                .collect();
+            let expect: Vec<Option<bool>> = ev.output_values().into_iter().map(Some).collect();
+            assert_eq!(po, expect, "PO mismatch in an unrolled frame");
+            st = ev.next_state();
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Reproduction harness for the DynUnlock paper tables.
+//!
+//! The paper's Tables II/III report, per benchmark, how many SAT (DIP)
+//! iterations and how much solver time DynUnlock needs to break EFF-Dyn.
+//! This crate re-creates that experiment over the synthetic
+//! [`netlist::generator::profiles`] circuits: lock each profile with a
+//! random EFF-Dyn instance, run [`dynunlock::unlock`] against the locked
+//! chip as a black-box [`sim::ScanAccess`] oracle, and tabulate the
+//! results. The `dynunlock` bench target prints the table and emits
+//! `BENCH_dynunlock.json` (schema in DESIGN.md §5, with DIP-iteration and
+//! solve-time metrics per row).
+//!
+//! Absolute numbers are not comparable to the paper (synthetic circuits,
+//! different solver, scaled sizes — see DESIGN.md §6); the *shape* is the
+//! reproduced claim: every profile unlocks, in a handful of DIPs, in
+//! solver time that stays far below the attack-resilience targets the
+//! defense advertised.
+//!
+//! # Example
+//!
+//! ```
+//! let cfg = duharness::HarnessConfig::tiny();
+//! let rows = duharness::run_profiles(&cfg);
+//! assert_eq!(rows.len(), cfg.profiles.len());
+//! assert!(rows.iter().all(|r| r.unlock.verified));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dynunlock::{unlock, AttackConfig, Unlock};
+use gf2::Xoshiro256;
+use lfsr::TapSet;
+use netlist::profiles::{by_name, BenchmarkProfile};
+use scanlock::{LockSpec, LockedScanChip};
+use sim::ScanChain;
+
+/// What to attack and how hard.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Paper benchmark names to run (must exist in
+    /// [`netlist::profiles::PAPER_BENCHMARKS`]).
+    pub profiles: Vec<&'static str>,
+    /// Interface-size scale factor applied to each profile (the paper's
+    /// full sizes are out of reach for a single-thread CDCL reproduction
+    /// run on every CI push; DESIGN.md §6 discusses the substitution).
+    pub scale: f64,
+    /// Key-LFSR width (the paper's *key size*; Table III sweeps this).
+    pub key_width: usize,
+    /// Key gates per chain, as a fraction of the flop count (≥ 2).
+    pub gate_fraction: f64,
+    /// Capture cycles per session.
+    pub captures: usize,
+    /// Use a shuffled (non-natural) scan stitching.
+    pub shuffled_chains: bool,
+    /// Deterministic variant seed for circuit synthesis and lock drawing.
+    pub variant: u64,
+}
+
+impl HarnessConfig {
+    /// CI smoke sizes: three profiles, small circuits, 16-bit keys.
+    pub fn smoke() -> Self {
+        HarnessConfig {
+            profiles: vec!["s5378", "s13207", "s15850"],
+            scale: 0.04,
+            key_width: 16,
+            gate_fraction: 0.5,
+            captures: 1,
+            shuffled_chains: true,
+            variant: 1,
+        }
+    }
+
+    /// Full bench sizes: four profiles (both suites), 20-bit keys.
+    ///
+    /// Key width stops at 20 here, not the paper's 64+: our CDCL solver
+    /// has no XOR/Gaussian reasoning, and the miter's final UNSAT proof is
+    /// a resolution proof over the mask parities, which blows up past
+    /// ~24-bit keys (DESIGN.md §6). The paper's solver-facing claim —
+    /// iterations and time grow mildly with key size — is visible in the
+    /// 8→20 range this harness covers.
+    pub fn full() -> Self {
+        HarnessConfig {
+            profiles: vec!["s5378", "s13207", "s15850", "b20"],
+            scale: 0.07,
+            key_width: 20,
+            gate_fraction: 0.5,
+            captures: 1,
+            shuffled_chains: true,
+            variant: 1,
+        }
+    }
+
+    /// Debug-build test sizes: everything clamped tiny.
+    pub fn tiny() -> Self {
+        HarnessConfig {
+            profiles: vec!["s5378", "b20"],
+            scale: 0.01,
+            key_width: 8,
+            gate_fraction: 0.75,
+            captures: 1,
+            shuffled_chains: true,
+            variant: 1,
+        }
+    }
+
+    /// [`smoke`](HarnessConfig::smoke) under `BENCH_SMOKE=1`, otherwise
+    /// [`full`](HarnessConfig::full).
+    pub fn from_env() -> Self {
+        if bench::smoke() {
+            HarnessConfig::smoke()
+        } else {
+            HarnessConfig::full()
+        }
+    }
+}
+
+/// One row of the reproduced table: the attacked instance and the attack's
+/// outcome.
+#[derive(Debug, Clone)]
+pub struct AttackRow {
+    /// Paper benchmark name.
+    pub name: String,
+    /// Scan flop count of the attacked (scaled) circuit.
+    pub flops: usize,
+    /// Combinational gate count of the attacked circuit.
+    pub gates: usize,
+    /// Key-LFSR width.
+    pub key_width: usize,
+    /// Number of key gates on the chain.
+    pub key_gates: usize,
+    /// The attack result.
+    pub unlock: Unlock,
+}
+
+/// Locks one (scaled) profile and runs the attack against it.
+///
+/// # Panics
+///
+/// Panics if the profile name is unknown or the attack fails — the
+/// harness reproduces a table of successes; a failure is a bug, not a
+/// data point.
+pub fn attack_profile(profile: &BenchmarkProfile, cfg: &HarnessConfig) -> AttackRow {
+    let scaled = profile.scaled(cfg.scale);
+    let circuit = scaled.build(cfg.variant);
+    let n = circuit.num_dffs();
+    let mut rng = Xoshiro256::new(cfg.variant.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (n as u64));
+    let chain = if cfg.shuffled_chains {
+        ScanChain::shuffled(n, &mut rng)
+    } else {
+        ScanChain::natural(n)
+    };
+    // A session is 2n + c edges; the key schedule must not wrap inside it.
+    let min_period = (2 * n + cfg.captures) as u64;
+    let taps = TapSet::for_width(cfg.key_width, min_period, &mut rng)
+        .expect("a usable tap set exists for the configured key width");
+    let num_gates = ((n as f64 * cfg.gate_fraction) as usize).clamp(2, n);
+    let spec = LockSpec::random(taps, n, num_gates, &mut rng);
+    let secret = spec.random_seed(&mut rng);
+    let mut oracle = LockedScanChip::new(&circuit, chain.clone(), spec.clone(), secret);
+
+    let attack_cfg = AttackConfig {
+        captures: cfg.captures,
+        ..AttackConfig::default()
+    };
+    let unlock = unlock(&circuit, &chain, &spec, &mut oracle, &attack_cfg)
+        .unwrap_or_else(|e| panic!("attack on {} failed: {e}", profile.name));
+    AttackRow {
+        name: profile.name.to_string(),
+        flops: n,
+        gates: circuit.num_gates(),
+        key_width: spec.width(),
+        key_gates: spec.gates().len(),
+        unlock,
+    }
+}
+
+/// Runs [`attack_profile`] over every configured profile.
+///
+/// # Panics
+///
+/// Panics on unknown profile names or attack failures.
+pub fn run_profiles(cfg: &HarnessConfig) -> Vec<AttackRow> {
+    cfg.profiles
+        .iter()
+        .map(|name| {
+            let profile = by_name(name).unwrap_or_else(|| panic!("unknown profile {name:?}"));
+            attack_profile(profile, cfg)
+        })
+        .collect()
+}
+
+/// Prints the rows in the paper's table layout.
+pub fn print_table(rows: &[AttackRow]) {
+    println!(
+        "{:<10} {:>6} {:>7} {:>5} {:>6} {:>6} {:>8} {:>12} {:>12} {:>9}",
+        "bench", "flops", "gates", "key", "kgates", "DIPs", "queries", "solve", "total", "exact"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>6} {:>7} {:>5} {:>6} {:>6} {:>8} {:>12?} {:>12?} {:>9}",
+            r.name,
+            r.flops,
+            r.gates,
+            r.key_width,
+            r.key_gates,
+            r.unlock.dip_iterations,
+            r.unlock.oracle_queries,
+            r.unlock.solve_time,
+            r.unlock.total_time,
+            if r.unlock.nullity == 0 {
+                "yes"
+            } else {
+                "class"
+            },
+        );
+    }
+}
+
+/// Records the rows into a [`bench::Reporter`] with the DIP-iteration and
+/// solve-time columns as per-case metrics.
+pub fn record(rows: &[AttackRow], reporter: &mut bench::Reporter) {
+    for r in rows {
+        let id = format!("dynunlock/{}", r.name);
+        reporter.record_timed(&id, r.flops as u64, r.unlock.total_time);
+        reporter.add_metric(&id, "dip_iterations", r.unlock.dip_iterations as f64);
+        reporter.add_metric(&id, "oracle_queries", r.unlock.oracle_queries as f64);
+        reporter.add_metric(&id, "solve_ns", r.unlock.solve_time.as_nanos() as f64);
+        reporter.add_metric(&id, "key_width", r.key_width as f64);
+        reporter.add_metric(&id, "key_gates", r.key_gates as f64);
+        reporter.add_metric(&id, "rank", r.unlock.rank as f64);
+        reporter.add_metric(&id, "verified", if r.unlock.verified { 1.0 } else { 0.0 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_profiles_unlock_and_record() {
+        let cfg = HarnessConfig::tiny();
+        let rows = run_profiles(&cfg);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.unlock.verified, "{} must verify", r.name);
+            assert!(r.key_gates >= 2);
+        }
+        let mut rep = bench::Reporter::new("dynunlock-selftest");
+        record(&rows, &mut rep);
+        let dir = std::env::temp_dir().join(format!("duharness-selftest-{}", std::process::id()));
+        let path = rep.finish_to(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        for needle in [
+            "dynunlock/s5378",
+            "dynunlock/b20",
+            "dip_iterations",
+            "solve_ns",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn rows_are_deterministic_in_the_variant() {
+        let cfg = HarnessConfig::tiny();
+        let a = attack_profile(by_name("s5378").unwrap(), &cfg);
+        let b = attack_profile(by_name("s5378").unwrap(), &cfg);
+        assert_eq!(a.unlock.seed, b.unlock.seed);
+        assert_eq!(a.unlock.dip_iterations, b.unlock.dip_iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown profile")]
+    fn unknown_profile_panics() {
+        let mut cfg = HarnessConfig::tiny();
+        cfg.profiles = vec!["nonesuch"];
+        run_profiles(&cfg);
+    }
+}

@@ -1,0 +1,54 @@
+//! DynUnlock: breaking dynamically keyed scan-chain obfuscation
+//! (Limaye & Sinanoglu, DATE 2020).
+//!
+//! EFF-Dyn masks scan traffic with a free-running key LFSR, hoping the
+//! per-cycle key change defeats SAT attacks. It does not: because every
+//! scan session power-on resets the LFSR to the same secret seed, the
+//! masking collapses to *fixed affine masks* — each mask bit an explicit
+//! GF(2) linear form of the seed ([`model`]). The attack ([`attack`])
+//! then runs a standard SAT-attack DIP loop over a symbolic seed
+//! hypothesis pair and finishes with plain Gaussian elimination:
+//!
+//! 1. [`model::session_masks`] — derive the load/unload masks `α`, `β` as
+//!    linear forms of the seed via one symbolic LFSR walk;
+//! 2. [`attack::unlock`] — find distinguishing input patterns with the
+//!    incremental CDCL solver, query the oracle, constrain, repeat until
+//!    no distinguishing input exists;
+//! 3. hand the mask values to [`lfsr::recover::SeedRecovery`] and read
+//!    the seed — a functionally equivalent member of the secret's
+//!    equivalence class, and the secret itself whenever every mask bit
+//!    is observable — then verify against the oracle with random probe
+//!    sessions.
+//!
+//! # Example
+//!
+//! ```
+//! use dynunlock::attack::{unlock, AttackConfig};
+//! use gf2::Xoshiro256;
+//! use lfsr::TapSet;
+//! use netlist::generator::s208_like;
+//! use scanlock::{LockSpec, LockedScanChip};
+//! use sim::ScanChain;
+//!
+//! let c = s208_like();
+//! let chain = ScanChain::natural(c.num_dffs());
+//! let mut rng = Xoshiro256::new(42);
+//! let spec = LockSpec::random(TapSet::maximal(8).unwrap(), 8, 5, &mut rng);
+//! let secret = spec.random_seed(&mut rng);
+//! let mut oracle = LockedScanChip::new(&c, chain.clone(), spec.clone(), secret.clone());
+//!
+//! let result = unlock(&c, &chain, &spec, &mut oracle, &AttackConfig::default()).unwrap();
+//! assert!(result.verified);
+//! if result.nullity == 0 {
+//!     assert_eq!(result.seed, secret); // exact on this instance
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod model;
+
+pub use attack::{unlock, AttackConfig, AttackError, Unlock};
+pub use model::{session_masks, SessionMasks};

@@ -1,0 +1,209 @@
+//! The affine session model: why EFF-Dyn collapses.
+//!
+//! The defense's key LFSR steps every cycle, so naively each shift edge is
+//! masked by a different key. But the [`sim::ScanAccess`] contract makes
+//! every query a fresh powered session, and power-on reset restarts the
+//! LFSR from the same secret seed. With the session structure fixed (`n`
+//! shift-in edges, `c` captures, `n` shift-out edges), the key bit applied
+//! at any point of any session is a *fixed linear function of the seed* —
+//! the paper's central observation. The whole dynamic lock collapses to
+//!
+//! ```text
+//! response = F(pattern ⊕ α) ,  scan_out = capture(F) ⊕ β
+//! ```
+//!
+//! where `α` (the load mask) and `β` (the unload mask) are per-position
+//! XOR masks, each an explicit GF(2) linear form of the seed. This module
+//! computes those forms with one [`lfsr::SymbolicLfsr`] walk.
+
+use gf2::BitVec;
+use lfsr::SymbolicLfsr;
+use scanlock::LockSpec;
+
+/// The affine masks of one session structure, as linear forms of the seed.
+///
+/// `alpha[p]` and `beta[p]` are coefficient rows of width
+/// [`LockSpec::width`]; `row · seed` gives the concrete mask bit for chain
+/// position `p` (see [`mask_values`](SessionMasks::mask_values)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionMasks {
+    /// Load mask: the state actually latched at position `p` is
+    /// `pattern[p] ⊕ alpha[p]·seed`.
+    pub alpha: Vec<BitVec>,
+    /// Unload mask: the bit observed for position `p` is
+    /// `captured[p] ⊕ beta[p]·seed`.
+    pub beta: Vec<BitVec>,
+}
+
+impl SessionMasks {
+    /// Evaluates both masks for a concrete seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed width differs from the rows' width.
+    pub fn mask_values(&self, seed: &BitVec) -> (Vec<bool>, Vec<bool>) {
+        let a = self.alpha.iter().map(|row| row.dot(seed)).collect();
+        let b = self.beta.iter().map(|row| row.dot(seed)).collect();
+        (a, b)
+    }
+}
+
+/// Derives the affine masks for one session structure.
+///
+/// Mirrors `scanlock`'s cycle convention exactly (the key applied at edge
+/// `t` is `A^t · seed`; the register steps after every edge):
+///
+/// * the bit destined for position `p` enters cell 0 at edge `n-1-p` and
+///   passes the key gate at position `q ≤ p` at edge `n-1-p+q`, so
+///   `alpha[p] = Σ_{q ∈ gates, q ≤ p} row_{g(q)}(A^{n-1-p+q})`;
+/// * the bit captured at position `p` passes the gate at position `q > p`
+///   at edge `n+c+q-p-1` on its way out, so
+///   `beta[p] = Σ_{q ∈ gates, q > p} row_{g(q)}(A^{n+c+q-p-1})`.
+///
+/// Capture edges contribute nothing (key gates sit on the scan path only)
+/// but still advance the register, which is why `captures` shifts the
+/// `beta` rows.
+///
+/// # Panics
+///
+/// Panics if `captures == 0` or a key gate lies beyond `num_cells`.
+pub fn session_masks(spec: &LockSpec, num_cells: usize, captures: usize) -> SessionMasks {
+    assert!(captures >= 1, "a session has at least one capture");
+    let n = num_cells;
+    if let Some(max) = spec.max_pos() {
+        assert!(max < n, "key gate at position {max} past chain end");
+    }
+    let width = spec.width();
+    let gates = spec.gates();
+
+    // One symbolic walk over every edge of the session; key_rows[t][k] is
+    // the seed-coefficient row of gate k's LFSR bit at edge t.
+    let edges = 2 * n + captures;
+    let mut sym = SymbolicLfsr::new(spec.taps().clone());
+    let mut key_rows: Vec<Vec<BitVec>> = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        key_rows.push(gates.iter().map(|g| sym.row(g.lfsr_bit).clone()).collect());
+        sym.step();
+    }
+
+    let mut alpha = vec![BitVec::zeros(width); n];
+    let mut beta = vec![BitVec::zeros(width); n];
+    for (k, g) in gates.iter().enumerate() {
+        let q = g.pos;
+        for (p, slot) in alpha.iter_mut().enumerate().skip(q) {
+            slot.xor_assign(&key_rows[n - 1 - p + q][k]);
+        }
+        for (p, slot) in beta.iter_mut().enumerate().take(q) {
+            slot.xor_assign(&key_rows[n + captures + q - p - 1][k]);
+        }
+    }
+    SessionMasks { alpha, beta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2::{Rng64, SplitMix64};
+    use lfsr::TapSet;
+    use netlist::generator::{s208_like, GeneratorConfig};
+    use scanlock::LockedScanChip;
+    use sim::{ScanAccess, ScanChain, ScanChip, ScanResponse};
+
+    /// The affine prediction: mask the pattern with α, run the *honest*
+    /// chip, mask the scan-out with β.
+    fn affine_predict(
+        circuit: &netlist::Circuit,
+        chain: &ScanChain,
+        masks: &SessionMasks,
+        seed: &BitVec,
+        pattern: &[bool],
+        pis: &[bool],
+        captures: usize,
+    ) -> ScanResponse {
+        let (a, b) = masks.mask_values(seed);
+        let masked: Vec<bool> = pattern.iter().zip(&a).map(|(&x, &m)| x ^ m).collect();
+        let mut honest = ScanChip::new(circuit, chain.clone());
+        let resp = honest.query_captures(&masked, pis, captures);
+        let scan_out = resp.scan_out.iter().zip(&b).map(|(&y, &m)| y ^ m).collect();
+        ScanResponse {
+            scan_out,
+            po: resp.po,
+        }
+    }
+
+    /// The load-bearing cross-check of the whole reproduction: the affine
+    /// model must agree bit-for-bit with the cycle-accurate locked chip,
+    /// over random specs, chains (shuffled included), captures, and seeds.
+    #[test]
+    fn affine_model_matches_cycle_accurate_chip() {
+        let mut rng = SplitMix64::new(0xDA7E);
+        for trial in 0..12u64 {
+            let c = if trial % 3 == 0 {
+                s208_like()
+            } else {
+                GeneratorConfig::new("affine", 4, 2, 6 + (trial as usize % 5), 40)
+                    .with_seed(trial)
+                    .generate()
+            };
+            let n = c.num_dffs();
+            let chain = if trial % 2 == 0 {
+                ScanChain::natural(n)
+            } else {
+                ScanChain::shuffled(n, &mut rng)
+            };
+            let width = 8 + (trial as usize % 3) * 4;
+            let taps = TapSet::maximal(width).unwrap();
+            let spec = scanlock::LockSpec::random(taps, n, 1 + rng.gen_index(n), &mut rng);
+            let seed = spec.random_seed(&mut rng);
+            let captures = 1 + rng.gen_index(3);
+            let masks = session_masks(&spec, n, captures);
+            let mut locked = LockedScanChip::new(&c, chain.clone(), spec, seed.clone());
+            for _ in 0..6 {
+                let pattern: Vec<bool> = (0..n).map(|_| rng.gen_bool()).collect();
+                let pis: Vec<bool> = (0..c.inputs().len()).map(|_| rng.gen_bool()).collect();
+                let actual = locked.query_captures(&pattern, &pis, captures);
+                let predicted = affine_predict(&c, &chain, &masks, &seed, &pattern, &pis, captures);
+                assert_eq!(actual, predicted, "trial {trial} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_free_positions_have_empty_masks() {
+        // A single gate at position q: alpha is zero below q, beta is zero
+        // at and above q.
+        let taps = TapSet::maximal(8).unwrap();
+        let spec = scanlock::LockSpec::new(
+            taps,
+            vec![scanlock::KeyGate {
+                pos: 3,
+                lfsr_bit: 0,
+            }],
+        )
+        .unwrap();
+        let masks = session_masks(&spec, 6, 1);
+        for p in 0..3 {
+            assert!(masks.alpha[p].is_zero(), "alpha[{p}] below the gate");
+        }
+        for p in 3..6 {
+            assert!(!masks.alpha[p].is_zero(), "alpha[{p}] crosses the gate");
+            assert!(masks.beta[p].is_zero(), "beta[{p}] at/above the gate");
+        }
+        for p in 0..3 {
+            assert!(!masks.beta[p].is_zero(), "beta[{p}] shifts out through it");
+        }
+    }
+
+    #[test]
+    fn captures_shift_the_unload_mask() {
+        // More captures step the LFSR further before shift-out: beta must
+        // change, alpha must not.
+        let taps = TapSet::maximal(8).unwrap();
+        let mut rng = SplitMix64::new(3);
+        let spec = scanlock::LockSpec::random(taps, 8, 4, &mut rng);
+        let one = session_masks(&spec, 8, 1);
+        let three = session_masks(&spec, 8, 3);
+        assert_eq!(one.alpha, three.alpha);
+        assert_ne!(one.beta, three.beta);
+    }
+}

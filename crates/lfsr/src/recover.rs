@@ -80,6 +80,50 @@ impl SeedRecovery {
         self.solver.add_equation(row, obs.value)
     }
 
+    /// Adds one observed *linear form*: `row · seed = value` for an
+    /// arbitrary coefficient row over the seed bits.
+    ///
+    /// Single key-stream bits are the `row_j(A^t)` special case handled by
+    /// [`observe`](SeedRecovery::observe); attacks that watch a bit only
+    /// through XOR masks (DynUnlock's affine session masks are XORs of
+    /// several keystream bits) learn sums of such rows instead, and feed
+    /// them in here. Returns whether the equation was independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] if the equation contradicts earlier ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the register width.
+    pub fn observe_form(&mut self, row: BitVec, value: bool) -> Result<bool, SolveError> {
+        self.solver.add_equation(row, value)
+    }
+
+    /// Adds one observed XOR of key-stream bits: the sum over GF(2) of
+    /// LFSR bit `j` at cycle `t` for every `(t, j)` in `terms` equals
+    /// `value`.
+    ///
+    /// Convenience wrapper building the coefficient row for
+    /// [`observe_form`](SeedRecovery::observe_form) from the symbolic
+    /// register. A term repeated an even number of times cancels, as XOR
+    /// demands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] on contradiction with earlier observations.
+    pub fn observe_combination(
+        &mut self,
+        terms: &[(u64, usize)],
+        value: bool,
+    ) -> Result<bool, SolveError> {
+        let mut row = BitVec::zeros(self.taps.width());
+        for &(cycle, bit) in terms {
+            row.xor_assign(&self.row_at(cycle, bit));
+        }
+        self.observe_form(row, value)
+    }
+
     /// Adds a batch of observations, returning how many were independent.
     ///
     /// Observations are sorted by cycle first so the cached symbolic
@@ -303,6 +347,69 @@ mod tests {
         ]);
         assert!(err.is_err());
         assert_eq!(rec.rank(), 1, "first observation survives");
+    }
+
+    #[test]
+    fn observed_forms_pin_seed() {
+        // Watch only XORs of keystream bits (as a masked scan chain would
+        // expose) and still recover the seed.
+        let taps = TapSet::maximal(12).unwrap();
+        let mut rng = SplitMix64::new(21);
+        let secret = BitVec::random(12, &mut rng);
+        let mut rec = SeedRecovery::new(taps.clone());
+        let mut chip = Lfsr::new(taps, secret.clone());
+        let mut stream = Vec::new(); // (cycle, bit) -> value, bits 0..3
+        for cycle in 0..40u64 {
+            for bit in 0..3 {
+                stream.push(((cycle, bit), chip.bit(bit)));
+            }
+            chip.step();
+        }
+        while rec.unique_seed().is_none() {
+            let k = 2 + rng.gen_index(3);
+            let picks: Vec<usize> = (0..k).map(|_| rng.gen_index(stream.len())).collect();
+            let terms: Vec<(u64, usize)> = picks.iter().map(|&i| stream[i].0).collect();
+            let value = picks.iter().fold(false, |acc, &i| acc ^ stream[i].1);
+            rec.observe_combination(&terms, value)
+                .expect("honest combinations are consistent");
+        }
+        assert_eq!(rec.unique_seed(), Some(secret));
+    }
+
+    #[test]
+    fn repeated_terms_cancel() {
+        let taps = TapSet::maximal(8).unwrap();
+        let mut rec = SeedRecovery::new(taps);
+        // x ⊕ x = 0: an even repetition is the trivially-true equation...
+        assert!(!rec.observe_combination(&[(3, 1), (3, 1)], false).unwrap());
+        assert_eq!(rec.rank(), 0);
+        // ...and claiming it equals 1 is a contradiction.
+        assert!(rec.observe_combination(&[(3, 1), (3, 1)], true).is_err());
+    }
+
+    #[test]
+    fn observe_form_matches_observe() {
+        let taps = TapSet::maximal(10).unwrap();
+        let secret = BitVec::from_u64(10, 0x155 & 0x3FF);
+        let mut chip = Lfsr::new(taps.clone(), secret.clone());
+        let mut via_obs = SeedRecovery::new(taps.clone());
+        let mut via_form = SeedRecovery::new(taps);
+        for cycle in 0..10u64 {
+            let value = chip.bit(0);
+            via_obs
+                .observe(Observation {
+                    cycle,
+                    bit_index: 0,
+                    value,
+                })
+                .unwrap();
+            let row = via_form.row_at(cycle, 0);
+            via_form.observe_form(row, value).unwrap();
+            chip.step();
+        }
+        assert_eq!(via_obs.rank(), via_form.rank());
+        assert_eq!(via_obs.solution(), via_form.solution());
+        assert_eq!(via_form.unique_seed(), Some(secret));
     }
 
     #[test]

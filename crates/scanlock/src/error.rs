@@ -1,0 +1,36 @@
+//! Error type for lock construction.
+
+use std::fmt;
+
+/// Errors produced while constructing a [`crate::LockSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScanLockError {
+    /// Two key gates were placed on the same chain segment.
+    DuplicatePosition {
+        /// The doubly-locked chain position.
+        pos: usize,
+    },
+    /// A key gate reads an LFSR state bit outside the register.
+    BitOutOfRange {
+        /// The offending state-bit index.
+        bit: usize,
+        /// The LFSR width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for ScanLockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanLockError::DuplicatePosition { pos } => {
+                write!(f, "two key gates at chain position {pos}")
+            }
+            ScanLockError::BitOutOfRange { bit, width } => {
+                write!(f, "key gate reads LFSR bit {bit} of a {width}-bit register")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanLockError {}

@@ -1,0 +1,55 @@
+//! The paper's EFF-Dyn defense: dynamic scan-chain obfuscation.
+//!
+//! EFF-Dyn inserts XOR *key gates* on the scan shift path and drives each
+//! one from a bit of an on-chip key LFSR that steps on **every** clock
+//! edge (paper Fig. 2). Data shifting through the chain is therefore
+//! masked by a key that changes each cycle; without the LFSR seed an
+//! attacker can neither load a chosen state nor read a captured one.
+//!
+//! * [`LockSpec`] — the *public* structure of a lock: the LFSR tap set
+//!   plus which chain segments carry key gates and which LFSR state bit
+//!   drives each. Under the paper's threat model the attacker recovers
+//!   this from the reverse-engineered netlist; only the seed is secret.
+//! * [`LockedScanChip`] — a cycle-accurate locked chip implementing
+//!   [`sim::ScanAccess`]: every [`query`](sim::ScanAccess::query) is one
+//!   complete powered session that power-on resets the key LFSR to the
+//!   secret seed, exactly as the trait contract promises. That reset is
+//!   what the DynUnlock attack exploits: every query sees the same key
+//!   schedule, so the dynamic lock collapses to one unknown-but-fixed
+//!   affine mask pair per session structure.
+//!
+//! # Example
+//!
+//! ```
+//! use gf2::{BitVec, SplitMix64};
+//! use lfsr::TapSet;
+//! use netlist::generator::s208_like;
+//! use scanlock::{LockSpec, LockedScanChip};
+//! use sim::{ScanAccess, ScanChain, ScanChip};
+//!
+//! let c = s208_like();
+//! let chain = ScanChain::natural(c.num_dffs());
+//! let mut rng = SplitMix64::new(1);
+//! let spec = LockSpec::random(TapSet::maximal(8).unwrap(), 8, 4, &mut rng);
+//! let seed = BitVec::from_u64(8, 0xB7);
+//! let mut locked = LockedScanChip::new(&c, chain.clone(), spec, seed);
+//! let mut honest = ScanChip::new(&c, chain);
+//!
+//! let pattern = vec![true; 8];
+//! let pis = vec![false; 10];
+//! // The locked chip garbles the response...
+//! assert_ne!(locked.query(&pattern, &pis), honest.query(&pattern, &pis));
+//! // ...but identical queries see identical key schedules (power-on reset).
+//! assert_eq!(locked.query(&pattern, &pis), locked.query(&pattern, &pis));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod locked;
+mod spec;
+
+pub use error::ScanLockError;
+pub use locked::LockedScanChip;
+pub use spec::{KeyGate, LockSpec};

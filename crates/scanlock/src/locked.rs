@@ -1,0 +1,293 @@
+//! The cycle-accurate EFF-Dyn locked chip.
+
+use gf2::BitVec;
+use lfsr::Lfsr;
+use netlist::Circuit;
+use sim::{Evaluator, ScanAccess, ScanChain, ScanResponse};
+
+/// An EFF-Dyn-locked scan chip: [`sim::ScanChip`] plus a key LFSR whose
+/// per-cycle output XOR-masks the scan shift path.
+///
+/// The chip is simulated **cycle-accurately** — every clock edge shifts
+/// the chain through the key gates and steps the LFSR — rather than via
+/// the closed-form affine masks the attack derives; the `dynunlock` tests
+/// cross-check the two, so the defense model cannot silently agree with
+/// the attack model by construction.
+///
+/// # Session timing
+///
+/// One [`query_captures`](ScanAccess::query_captures) session with `n`
+/// cells and `c` captures runs `2n + c` clock edges, numbered from 0:
+///
+/// * power-on reset: the LFSR state is the secret seed, edge counter 0;
+/// * edges `0..n`: shift-in (the bit destined for chain position `p`
+///   enters at edge `n-1-p`);
+/// * edges `n..n+c`: captures (key gates idle, LFSR still steps);
+/// * edges `n+c..2n+c`: shift-out (the scan-out port is read *before*
+///   each edge; the bit captured at position `p` is read before edge
+///   `n+c+(n-1-p)`).
+///
+/// The key applied at edge `t` is the LFSR state after `t` steps from the
+/// seed (edge 0 uses the seed itself); the register steps at the end of
+/// every edge. The `dynunlock` attack model mirrors exactly this
+/// convention.
+#[derive(Debug, Clone)]
+pub struct LockedScanChip<'c> {
+    evaluator: Evaluator<'c>,
+    chain: ScanChain,
+    spec: crate::LockSpec,
+    /// The tamper-proof secret. Not exposed; [`ScanAccess`] is the only
+    /// interface the attack gets.
+    seed: BitVec,
+    lfsr: Lfsr,
+    /// `gate_bit[pos]` = LFSR bit driving the key gate at `pos`, if any.
+    gate_bit: Vec<Option<usize>>,
+}
+
+impl<'c> LockedScanChip<'c> {
+    /// Creates a locked chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain length differs from the circuit's flop count,
+    /// if a key gate sits past the end of the chain, or if the seed width
+    /// differs from the spec's register width.
+    pub fn new(
+        circuit: &'c Circuit,
+        chain: ScanChain,
+        spec: crate::LockSpec,
+        seed: BitVec,
+    ) -> Self {
+        assert_eq!(
+            chain.len(),
+            circuit.num_dffs(),
+            "chain must cover all flops"
+        );
+        assert_eq!(seed.len(), spec.width(), "seed width mismatch");
+        if let Some(max) = spec.max_pos() {
+            assert!(
+                max < chain.len(),
+                "key gate at position {max} past chain end"
+            );
+        }
+        let mut gate_bit = vec![None; chain.len()];
+        for g in spec.gates() {
+            gate_bit[g.pos] = Some(g.lfsr_bit);
+        }
+        let lfsr = Lfsr::new(spec.taps().clone(), seed.clone());
+        LockedScanChip {
+            evaluator: Evaluator::new(circuit),
+            chain,
+            spec,
+            seed,
+            lfsr,
+            gate_bit,
+        }
+    }
+
+    /// The circuit inside the chip.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.evaluator.circuit()
+    }
+
+    /// The scan chain structure (public under the threat model).
+    pub fn chain(&self) -> &ScanChain {
+        &self.chain
+    }
+
+    /// The lock structure (public under the threat model).
+    pub fn spec(&self) -> &crate::LockSpec {
+        &self.spec
+    }
+
+    /// One shift clock edge: every cell takes its predecessor's value
+    /// (cell 0 takes `si`), XOR-masked through any key gate on the way;
+    /// then the LFSR steps.
+    fn shift_edge(&mut self, cells: &mut [bool], si: bool) {
+        for p in (1..cells.len()).rev() {
+            cells[p] = cells[p - 1] ^ self.key_at(p);
+        }
+        if let Some(c0) = cells.first_mut() {
+            *c0 = si ^ self.key_at(0);
+        }
+        self.lfsr.step();
+    }
+
+    /// Key bit applied at chain position `pos` on the current edge.
+    fn key_at(&self, pos: usize) -> bool {
+        self.gate_bit[pos].is_some_and(|bit| self.lfsr.bit(bit))
+    }
+}
+
+impl ScanAccess for LockedScanChip<'_> {
+    fn num_cells(&self) -> usize {
+        self.chain.len()
+    }
+
+    fn num_pis(&self) -> usize {
+        self.circuit().inputs().len()
+    }
+
+    fn num_pos(&self) -> usize {
+        self.circuit().outputs().len()
+    }
+
+    fn query_captures(&mut self, pattern: &[bool], pis: &[bool], captures: usize) -> ScanResponse {
+        assert!(captures >= 1, "at least one capture cycle");
+        let n = self.chain.len();
+        assert_eq!(pattern.len(), n, "pattern length mismatch");
+
+        // Power-on reset: a fresh session restarts the key schedule.
+        self.lfsr.reseed(self.seed.clone());
+
+        // Shift-in: cells indexed by chain position, flops start at zero.
+        let mut cells = vec![false; n];
+        for t in 0..n {
+            self.shift_edge(&mut cells, pattern[n - 1 - t]);
+        }
+
+        // Captures: key gates are off the functional path; the LFSR still
+        // steps once per edge.
+        let mut po = Vec::new();
+        for _ in 0..captures {
+            let state = self.chain.pattern_to_state(&cells);
+            self.evaluator.eval(pis, &state);
+            po = self.evaluator.output_values();
+            cells = self.chain.state_to_pattern(&self.evaluator.next_state());
+            self.lfsr.step();
+        }
+
+        // Shift-out: read the port, then clock. `raw[j]` is the bit seen
+        // before edge `n + captures + j`; scan-in is held low.
+        let mut raw = vec![false; n];
+        for slot in raw.iter_mut() {
+            *slot = *cells.last().expect("chain is nonempty");
+            self.shift_edge(&mut cells, false);
+        }
+        let scan_out = (0..n).map(|pos| raw[n - 1 - pos]).collect();
+        ScanResponse { scan_out, po }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KeyGate, LockSpec};
+    use gf2::{Rng64, SplitMix64};
+    use lfsr::TapSet;
+    use netlist::generator::{s208_like, GeneratorConfig};
+    use sim::ScanChip;
+
+    fn spec8(gates: Vec<KeyGate>) -> LockSpec {
+        LockSpec::new(TapSet::maximal(8).unwrap(), gates).unwrap()
+    }
+
+    #[test]
+    fn no_gates_behaves_like_honest_chip() {
+        let c = s208_like();
+        let chain = ScanChain::natural(8);
+        let seed = BitVec::from_u64(8, 0x5A);
+        let mut locked = LockedScanChip::new(&c, chain.clone(), spec8(vec![]), seed);
+        let mut honest = ScanChip::new(&c, chain);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..8 {
+            let pattern: Vec<bool> = (0..8).map(|_| rng.next_u64() & 1 == 1).collect();
+            let pis: Vec<bool> = (0..10).map(|_| rng.next_u64() & 1 == 1).collect();
+            assert_eq!(
+                locked.query(&pattern, &pis),
+                honest.query(&pattern, &pis),
+                "an empty lock is no lock"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_seed_behaves_like_honest_chip() {
+        let c = s208_like();
+        let chain = ScanChain::natural(8);
+        let spec = LockSpec::random(TapSet::maximal(8).unwrap(), 8, 5, &mut SplitMix64::new(2));
+        let mut locked = LockedScanChip::new(&c, chain.clone(), spec, BitVec::zeros(8));
+        let mut honest = ScanChip::new(&c, chain);
+        let pattern = vec![true, false, true, true, false, false, true, false];
+        let pis = vec![false; 10];
+        assert_eq!(locked.query(&pattern, &pis), honest.query(&pattern, &pis));
+    }
+
+    #[test]
+    fn locked_chip_garbles_responses() {
+        let c = s208_like();
+        let chain = ScanChain::natural(8);
+        let spec = LockSpec::random(TapSet::maximal(8).unwrap(), 8, 5, &mut SplitMix64::new(2));
+        let seed = BitVec::from_u64(8, 0xC3);
+        let mut locked = LockedScanChip::new(&c, chain.clone(), spec, seed);
+        let mut honest = ScanChip::new(&c, chain);
+        let pattern = vec![true; 8];
+        let pis = vec![false; 10];
+        assert_ne!(
+            locked.query(&pattern, &pis).scan_out,
+            honest.query(&pattern, &pis).scan_out
+        );
+    }
+
+    #[test]
+    fn sessions_are_fresh_power_cycles() {
+        // Identical queries must see identical key schedules no matter
+        // what ran in between — the ScanAccess contract.
+        let c = GeneratorConfig::new("fresh", 5, 3, 12, 70)
+            .with_seed(4)
+            .generate();
+        let chain = ScanChain::natural(12);
+        let taps = TapSet::maximal(16).unwrap();
+        let spec = LockSpec::random(taps, 12, 6, &mut SplitMix64::new(11));
+        let seed = spec.random_seed(&mut SplitMix64::new(12));
+        let mut locked = LockedScanChip::new(&c, chain, spec, seed);
+        let mut rng = SplitMix64::new(13);
+        let pattern: Vec<bool> = (0..12).map(|_| rng.next_u64() & 1 == 1).collect();
+        let pis: Vec<bool> = (0..5).map(|_| rng.next_u64() & 1 == 1).collect();
+        let first = locked.query_captures(&pattern, &pis, 2);
+        for _ in 0..3 {
+            let other: Vec<bool> = (0..12).map(|_| rng.next_u64() & 1 == 1).collect();
+            locked.query(&other, &pis);
+        }
+        assert_eq!(locked.query_captures(&pattern, &pis, 2), first);
+    }
+
+    #[test]
+    fn single_gate_on_shift_register_masks_known_cycles() {
+        // One key gate at position 0 of a pure shift register: the bit
+        // destined for position p picks up exactly key(edge n-1-p) going
+        // in, and nothing coming out (no gates past position 0).
+        let c = netlist::generator::shift_register(4);
+        let chain = ScanChain::natural(4);
+        let taps = TapSet::maximal(8).unwrap();
+        let spec = LockSpec::new(
+            taps.clone(),
+            vec![KeyGate {
+                pos: 0,
+                lfsr_bit: 3,
+            }],
+        )
+        .unwrap();
+        let seed = BitVec::from_u64(8, 0x9D);
+        let mut locked = LockedScanChip::new(&c, chain.clone(), spec, seed.clone());
+
+        let pattern = vec![false; 4];
+        let pis = vec![false; 1];
+        let resp = locked.query(&pattern, &pis);
+
+        // Reference: key bit 3 at edges 0..4 from the seed.
+        let mut reference = Lfsr::new(taps, seed);
+        let key: Vec<bool> = (0..4)
+            .map(|_| {
+                let k = reference.bit(3);
+                reference.step();
+                k
+            })
+            .collect();
+        // Loaded state: loaded[p] = pattern[p] ^ key[n-1-p]; a shift
+        // register's capture moves q[i] <- q[i-1] (q[0] <- din = 0).
+        let loaded: Vec<bool> = (0..4).map(|p| key[3 - p]).collect();
+        let captured = [false, loaded[0], loaded[1], loaded[2]];
+        assert_eq!(resp.scan_out, captured, "no out-mask for a pos-0 gate");
+    }
+}

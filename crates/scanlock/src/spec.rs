@@ -1,0 +1,197 @@
+//! The public structure of an EFF-Dyn lock.
+
+use gf2::{BitVec, Rng64};
+use lfsr::TapSet;
+
+use crate::ScanLockError;
+
+/// One XOR key gate on the scan shift path.
+///
+/// The gate sits on the scan input of the cell at chain position `pos`:
+/// whenever a shift clock fires, the bit moving *into* that cell is XORed
+/// with LFSR state bit `lfsr_bit` as of that clock edge. Key gates are
+/// only on the scan path — capture cycles read functional D inputs and are
+/// unaffected (though the LFSR still steps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyGate {
+    /// Chain position whose scan input is masked (0 = nearest scan-in).
+    pub pos: usize,
+    /// LFSR state bit driving the gate.
+    pub lfsr_bit: usize,
+}
+
+/// Everything about an EFF-Dyn lock *except* the seed: the key-LFSR tap
+/// structure and the key-gate placement.
+///
+/// Under the paper's threat model this is public — the attacker reverse
+/// engineers the netlist and sees the register, its feedback taps, and
+/// every key gate's wiring. The tamper-proof memory holds only the seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSpec {
+    taps: TapSet,
+    /// Sorted by position; positions are unique.
+    gates: Vec<KeyGate>,
+}
+
+impl LockSpec {
+    /// Validates and creates a lock spec. Gates are kept sorted by chain
+    /// position.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate positions and state-bit indices outside the
+    /// register width.
+    pub fn new(taps: TapSet, mut gates: Vec<KeyGate>) -> Result<Self, ScanLockError> {
+        gates.sort_by_key(|g| g.pos);
+        for w in gates.windows(2) {
+            if w[0].pos == w[1].pos {
+                return Err(ScanLockError::DuplicatePosition { pos: w[0].pos });
+            }
+        }
+        if let Some(bad) = gates.iter().find(|g| g.lfsr_bit >= taps.width()) {
+            return Err(ScanLockError::BitOutOfRange {
+                bit: bad.lfsr_bit,
+                width: taps.width(),
+            });
+        }
+        Ok(LockSpec { taps, gates })
+    }
+
+    /// A random placement: `num_gates` key gates on distinct chain
+    /// positions (clamped to `num_cells`), each driven by a random LFSR
+    /// state bit. Deterministic in the generator.
+    pub fn random<R: Rng64>(
+        taps: TapSet,
+        num_cells: usize,
+        num_gates: usize,
+        rng: &mut R,
+    ) -> LockSpec {
+        let mut positions: Vec<usize> = (0..num_cells).collect();
+        rng.shuffle(&mut positions);
+        positions.truncate(num_gates.min(num_cells));
+        let width = taps.width();
+        let gates = positions
+            .into_iter()
+            .map(|pos| KeyGate {
+                pos,
+                lfsr_bit: rng.gen_index(width),
+            })
+            .collect();
+        LockSpec::new(taps, gates).expect("random placement satisfies the invariants")
+    }
+
+    /// The key-LFSR tap set.
+    pub fn taps(&self) -> &TapSet {
+        &self.taps
+    }
+
+    /// The key-LFSR width (the paper's *key size*).
+    pub fn width(&self) -> usize {
+        self.taps.width()
+    }
+
+    /// The key gates, sorted by chain position.
+    pub fn gates(&self) -> &[KeyGate] {
+        &self.gates
+    }
+
+    /// Largest locked chain position, if any gate exists.
+    pub fn max_pos(&self) -> Option<usize> {
+        self.gates.last().map(|g| g.pos)
+    }
+
+    /// Draws a uniformly random *nonzero* seed for this lock's register.
+    /// (The all-zero seed is a fixed point of any LFSR: the chip would
+    /// mask with a constant zero key, i.e. not be locked at all.)
+    pub fn random_seed<R: Rng64>(&self, rng: &mut R) -> BitVec {
+        loop {
+            let seed = BitVec::random(self.width(), rng);
+            if !seed.is_zero() {
+                return seed;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2::SplitMix64;
+
+    fn taps8() -> TapSet {
+        TapSet::maximal(8).unwrap()
+    }
+
+    #[test]
+    fn gates_are_sorted_and_validated() {
+        let spec = LockSpec::new(
+            taps8(),
+            vec![
+                KeyGate {
+                    pos: 5,
+                    lfsr_bit: 0,
+                },
+                KeyGate {
+                    pos: 1,
+                    lfsr_bit: 7,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(spec.gates()[0].pos, 1);
+        assert_eq!(spec.gates()[1].pos, 5);
+        assert_eq!(spec.max_pos(), Some(5));
+        assert_eq!(spec.width(), 8);
+    }
+
+    #[test]
+    fn duplicate_position_rejected() {
+        let err = LockSpec::new(
+            taps8(),
+            vec![
+                KeyGate {
+                    pos: 2,
+                    lfsr_bit: 0,
+                },
+                KeyGate {
+                    pos: 2,
+                    lfsr_bit: 1,
+                },
+            ],
+        );
+        assert_eq!(err, Err(ScanLockError::DuplicatePosition { pos: 2 }));
+    }
+
+    #[test]
+    fn bit_out_of_range_rejected() {
+        let err = LockSpec::new(
+            taps8(),
+            vec![KeyGate {
+                pos: 0,
+                lfsr_bit: 8,
+            }],
+        );
+        assert_eq!(err, Err(ScanLockError::BitOutOfRange { bit: 8, width: 8 }));
+    }
+
+    #[test]
+    fn random_spec_is_valid_and_deterministic() {
+        let mut r1 = SplitMix64::new(3);
+        let mut r2 = SplitMix64::new(3);
+        let s1 = LockSpec::random(taps8(), 20, 6, &mut r1);
+        let s2 = LockSpec::random(taps8(), 20, 6, &mut r2);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.gates().len(), 6);
+        // clamped when asking for more gates than cells
+        let s3 = LockSpec::random(taps8(), 4, 100, &mut r1);
+        assert_eq!(s3.gates().len(), 4);
+    }
+
+    #[test]
+    fn random_seed_is_nonzero_and_right_width() {
+        let spec = LockSpec::random(taps8(), 8, 3, &mut SplitMix64::new(9));
+        let seed = spec.random_seed(&mut SplitMix64::new(0));
+        assert_eq!(seed.len(), 8);
+        assert!(!seed.is_zero());
+    }
+}

@@ -44,7 +44,7 @@ mod scan;
 mod seq;
 
 pub use comb::Evaluator;
-pub use oracle::{ScanAccess, ScanResponse};
+pub use oracle::{check_session_freshness, FreshnessViolation, ScanAccess, ScanResponse};
 pub use packed::{pack_lanes, unpack_lane, PackedEvaluator};
 pub use scan::{PackedScanChip, PackedScanResponse, ScanChain, ScanChip};
 pub use seq::{PackedSeqSim, SeqSim};

@@ -1,5 +1,7 @@
 //! The oracle interface the attack talks to.
 
+use gf2::{Rng64, SplitMix64};
+
 /// What comes back from one scan test session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanResponse {
@@ -43,4 +45,69 @@ pub trait ScanAccess {
     fn query(&mut self, pattern: &[bool], pis: &[bool]) -> ScanResponse {
         self.query_captures(pattern, pis, 1)
     }
+}
+
+/// Evidence that a [`ScanAccess`] implementation leaks state across
+/// sessions, found by [`check_session_freshness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreshnessViolation {
+    /// Index (into the probe set) of the query whose repeat diverged.
+    pub probe: usize,
+    /// Response seen the first time the probe ran.
+    pub first: ScanResponse,
+    /// Response seen when the probe was replayed later.
+    pub replay: ScanResponse,
+}
+
+/// Checks the session contract every `ScanAccess` implementation must
+/// honor: one query is one complete powered session, so identical queries
+/// return identical responses *no matter what ran in between* (any
+/// on-chip PRNG must power-on reset).
+///
+/// Runs `probes` random sessions, then replays them in reverse order with
+/// decoy queries interleaved; a chip whose key schedule drifts across
+/// sessions (e.g. an LFSR that keeps free-running) is caught by the first
+/// diverging replay. The probe set is deterministic in `rng_seed`.
+///
+/// The DynUnlock model is *built* on this contract — it is what collapses
+/// a dynamically keyed lock into fixed affine masks — so the conformance
+/// suite runs this against every oracle implementation in the tree.
+///
+/// # Errors
+///
+/// Returns the first [`FreshnessViolation`] found, if any.
+pub fn check_session_freshness<O: ScanAccess>(
+    oracle: &mut O,
+    probes: usize,
+    rng_seed: u64,
+) -> Result<(), FreshnessViolation> {
+    let n = oracle.num_cells();
+    let pis = oracle.num_pis();
+    let mut rng = SplitMix64::new(rng_seed);
+    let random_session = |rng: &mut SplitMix64| {
+        let pattern: Vec<bool> = (0..n).map(|_| rng.gen_bool()).collect();
+        let pi_vals: Vec<bool> = (0..pis).map(|_| rng.gen_bool()).collect();
+        let captures = 1 + rng.gen_index(3);
+        (pattern, pi_vals, captures)
+    };
+    let sessions: Vec<_> = (0..probes).map(|_| random_session(&mut rng)).collect();
+    let firsts: Vec<ScanResponse> = sessions
+        .iter()
+        .map(|(pat, pi, c)| oracle.query_captures(pat, pi, *c))
+        .collect();
+    for (probe, ((pat, pi, c), first)) in sessions.iter().zip(firsts).enumerate().rev() {
+        // Decoy traffic between first run and replay: state leaking out of
+        // any earlier session shifts the chip's schedule and shows up here.
+        let (dpat, dpi, dc) = random_session(&mut rng);
+        oracle.query_captures(&dpat, &dpi, dc);
+        let replay = oracle.query_captures(pat, pi, *c);
+        if replay != first {
+            return Err(FreshnessViolation {
+                probe,
+                first,
+                replay,
+            });
+        }
+    }
+    Ok(())
 }

@@ -1,54 +1,91 @@
-//! End-to-end demo of the substrate through the umbrella crate's public
-//! surface: parse a DIMACS CNF, solve it incrementally under assumptions,
-//! and recover a hidden LFSR seed from key-stream observations — the two
-//! primitives the DynUnlock attack composes.
+//! End-to-end DynUnlock demo: lock a circuit with EFF-Dyn, hand the
+//! attacker nothing but scan-test access, and watch the seed come back.
+//!
+//! The script follows the paper's attack flow:
+//!
+//! 1. build a circuit and lock its scan chain (key LFSR + XOR key gates);
+//! 2. run the SAT-based DIP loop against the locked chip as a black-box
+//!    oracle until no distinguishing input pattern remains;
+//! 3. recover the seed by Gaussian elimination over the session masks;
+//! 4. confirm the unlocked model reproduces the real chip bit-for-bit.
 //!
 //! Run with: `cargo run --release --example unlock_demo`
 
-use dynunlock_repro::gf2::BitVec;
-use dynunlock_repro::lfsr::recover::{Observation, SeedRecovery};
-use dynunlock_repro::lfsr::{Lfsr, TapSet};
-use dynunlock_repro::satsolver::dimacs::Cnf;
-use dynunlock_repro::satsolver::{Lit, SolveResult};
+use dynunlock_repro::dynunlock::{unlock, AttackConfig};
+use dynunlock_repro::gf2::{Rng64, Xoshiro256};
+use dynunlock_repro::lfsr::TapSet;
+use dynunlock_repro::netlist::profiles::by_name;
+use dynunlock_repro::scanlock::{LockSpec, LockedScanChip};
+use dynunlock_repro::sim::{ScanAccess, ScanChain};
 
 fn main() {
-    // 1. Solve a small CNF given in DIMACS text form.
-    let dimacs = "c (a ∨ b) ∧ (¬a ∨ c) ∧ (¬b ∨ c)\np cnf 3 3\n1 2 0\n-1 3 0\n-2 3 0\n";
-    let cnf = Cnf::parse(dimacs).expect("valid DIMACS");
-    let (mut solver, vars) = cnf.to_solver();
-    let result = solver.solve();
-    println!("DIMACS instance: {result:?}");
-    assert_eq!(result, SolveResult::Sat);
-    let model: Vec<bool> = vars.iter().map(|&v| solver.value(v).unwrap()).collect();
-    println!("  model: {model:?} (satisfies CNF: {})", cnf.eval(&model));
+    // 1. The design: a scaled s5378-profile circuit with a shuffled scan
+    //    stitching, locked with a 20-bit key LFSR driving key gates on
+    //    half the chain segments.
+    let profile = by_name("s5378").expect("paper profile").scaled(0.07);
+    let circuit = profile.build(3);
+    let n = circuit.num_dffs();
+    let mut rng = Xoshiro256::new(0x5EED);
+    let chain = ScanChain::shuffled(n, &mut rng);
+    let taps = TapSet::maximal(20).expect("tabulated width");
+    let spec = LockSpec::random(taps, n, n / 2, &mut rng);
+    let secret = spec.random_seed(&mut rng);
+    println!(
+        "locked {}: {} flops, {} gates, {}-bit key, {} key gates",
+        profile.name,
+        n,
+        circuit.num_gates(),
+        spec.width(),
+        spec.gates().len()
+    );
 
-    // 2. The same solver, incrementally, under assumptions: force ¬c and
-    //    the instance becomes unsatisfiable — without poisoning the solver.
-    let not_c = Lit::negative(vars[2]);
-    println!("  under ¬c: {:?}", solver.solve_assuming(&[not_c]));
-    println!("  unconstrained again: {:?}", solver.solve());
+    // The foundry's chip. The attacker gets `ScanAccess` to it and the
+    // netlist (including the lock structure) — but never `secret`.
+    let mut oracle = LockedScanChip::new(&circuit, chain.clone(), spec.clone(), secret.clone());
 
-    // 3. Recover a hidden 64-bit LFSR seed by watching one output bit —
-    //    the linear-algebra core that breaks per-cycle dynamic re-keying.
-    let taps = TapSet::maximal(64).expect("tabulated width");
-    let secret = BitVec::from_u64(64, 0x0BAD_5EED_CAFE_F00D);
-    let mut chip = Lfsr::new(taps.clone(), secret.clone());
-    let mut rec = SeedRecovery::new(taps);
-    let mut cycles = 0;
-    while rec.unique_seed().is_none() {
-        rec.observe(Observation {
-            cycle: cycles,
-            bit_index: 0,
-            value: chip.bit(0),
-        })
-        .expect("observations are consistent");
-        chip.step();
-        cycles += 1;
-    }
-    let recovered = rec.unique_seed().unwrap();
-    println!("LFSR seed recovered after {cycles} observed cycles");
+    // 2.+3. The attack: DIP loop, then linear seed recovery.
+    let result = unlock(
+        &circuit,
+        &chain,
+        &spec,
+        &mut oracle,
+        &AttackConfig::default(),
+    )
+    .expect("DynUnlock converges");
+    println!(
+        "unlocked in {} DIP iterations, {} oracle queries, solver time {:?}",
+        result.dip_iterations, result.oracle_queries, result.solve_time
+    );
+    println!("  mask system rank {}/{}", result.rank, spec.width());
     println!("  secret:    {secret}");
-    println!("  recovered: {recovered}");
-    assert_eq!(recovered, secret);
+    println!("  recovered: {}", result.seed);
+    assert!(result.verified, "attack self-verification failed");
+    if result.seed == secret {
+        println!("  recovered the secret exactly");
+    } else {
+        println!(
+            "  (recovered a functionally equivalent seed; 2^{} seeds mask identically)",
+            result.nullity
+        );
+    }
+
+    // 4. Independent check: a chip re-locked with the recovered seed is
+    //    indistinguishable from the real one. With the seed in hand the
+    //    mask is known, so the attacker can load and read arbitrary scan
+    //    states — the lock is broken.
+    let mut relocked = LockedScanChip::new(&circuit, chain, spec, result.seed);
+    let probes = 64;
+    for _ in 0..probes {
+        let pattern: Vec<bool> = (0..n).map(|_| rng.gen_bool()).collect();
+        let pis: Vec<bool> = (0..circuit.inputs().len())
+            .map(|_| rng.gen_bool())
+            .collect();
+        assert_eq!(
+            relocked.query(&pattern, &pis),
+            oracle.query(&pattern, &pis),
+            "recovered seed must reproduce the oracle"
+        );
+    }
+    println!("verified on {probes} random scan sessions");
     println!("ok");
 }

@@ -7,14 +7,17 @@
 //! See the individual crates for the real functionality:
 //!
 //! * [`netlist`], [`sim`], [`lfsr`], [`satsolver`], [`gf2`] — substrates
-//!
-//! Upper layers of the attack stack are not implemented yet.
-// TODO(cnf, scanlock, dynunlock, duharness): restore these re-exports as
-// later PRs land the CNF encoder, the EFF/DOS/EFF-Dyn defenses + locked
-// oracle, the attack itself, and the experiment harness.
+//! * [`scanlock`] — the EFF-Dyn defense and the locked scan-chip oracle
+//! * [`cnf`] — Tseitin encoding of circuits onto the SAT solver
+//! * [`dynunlock`] — the attack: DIP loop plus GF(2) seed recovery
+//! * [`duharness`] — the paper-table reproduction harness
 
+pub use cnf;
+pub use duharness;
+pub use dynunlock;
 pub use gf2;
 pub use lfsr;
 pub use netlist;
 pub use satsolver;
+pub use scanlock;
 pub use sim;

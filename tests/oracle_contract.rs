@@ -1,0 +1,107 @@
+//! Conformance tests for the [`sim::ScanAccess`] session contract.
+//!
+//! The contract: one query is one complete powered session, so identical
+//! queries return identical responses no matter what ran in between — any
+//! on-chip key generator must power-on reset. The DynUnlock affine model
+//! is built entirely on this; an oracle that leaks key-LFSR state across
+//! sessions would silently invalidate the whole attack stack. Every
+//! `ScanAccess` implementation in the tree must pass
+//! [`sim::check_session_freshness`], and the checker itself must actually
+//! catch a leaky implementation.
+
+use dynunlock_repro::gf2::{BitVec, Rng64, SplitMix64};
+use dynunlock_repro::lfsr::{Lfsr, TapSet};
+use dynunlock_repro::netlist::generator::{s208_like, GeneratorConfig};
+use dynunlock_repro::scanlock::{LockSpec, LockedScanChip};
+use dynunlock_repro::sim::{
+    check_session_freshness, ScanAccess, ScanChain, ScanChip, ScanResponse,
+};
+
+#[test]
+fn honest_chip_honors_the_session_contract() {
+    let c = s208_like();
+    let mut chip = ScanChip::new(&c, ScanChain::natural(c.num_dffs()));
+    check_session_freshness(&mut chip, 12, 0xF00D).expect("honest chip is stateless per session");
+}
+
+#[test]
+fn locked_chip_honors_the_session_contract() {
+    let mut rng = SplitMix64::new(41);
+    for trial in 0..4u64 {
+        let c = GeneratorConfig::new("contract", 5, 3, 10, 60)
+            .with_seed(trial)
+            .generate();
+        let chain = ScanChain::shuffled(c.num_dffs(), &mut rng);
+        let spec = LockSpec::random(TapSet::maximal(12).unwrap(), c.num_dffs(), 5, &mut rng);
+        let seed = spec.random_seed(&mut rng);
+        let mut chip = LockedScanChip::new(&c, chain, spec, seed);
+        check_session_freshness(&mut chip, 12, trial)
+            .expect("locked chip power-on resets every session");
+    }
+}
+
+/// A deliberately broken oracle: wraps an honest chip but XORs a key LFSR
+/// that *keeps free-running across sessions* into the scan-out — exactly
+/// the defense EFF-Dyn would be if power-on reset did not exist.
+struct LeakyChip<'c> {
+    inner: ScanChip<'c>,
+    lfsr: Lfsr,
+}
+
+impl ScanAccess for LeakyChip<'_> {
+    fn num_cells(&self) -> usize {
+        self.inner.num_cells()
+    }
+    fn num_pis(&self) -> usize {
+        self.inner.num_pis()
+    }
+    fn num_pos(&self) -> usize {
+        self.inner.num_pos()
+    }
+    fn query_captures(&mut self, pattern: &[bool], pis: &[bool], captures: usize) -> ScanResponse {
+        // No reseed here: the LFSR state survives from the last query.
+        let mut resp = self.inner.query_captures(pattern, pis, captures);
+        for bit in resp.scan_out.iter_mut() {
+            *bit ^= self.lfsr.bit(0);
+            self.lfsr.step();
+        }
+        resp
+    }
+}
+
+#[test]
+fn freshness_checker_catches_a_leaky_oracle() {
+    let c = s208_like();
+    let taps = TapSet::maximal(8).unwrap();
+    let mut leaky = LeakyChip {
+        inner: ScanChip::new(&c, ScanChain::natural(c.num_dffs())),
+        lfsr: Lfsr::new(taps, BitVec::from_u64(8, 0x5D)),
+    };
+    let violation = check_session_freshness(&mut leaky, 8, 7)
+        .expect_err("a non-resetting key stream must be detected");
+    assert_ne!(
+        violation.first, violation.replay,
+        "the violation carries the diverging evidence"
+    );
+}
+
+#[test]
+fn identical_queries_are_identical_across_arbitrary_interleavings() {
+    // Direct (non-checker) spot check on the locked chip: fixed query,
+    // random interleaved traffic, response pinned forever.
+    let c = s208_like();
+    let chain = ScanChain::natural(8);
+    let mut rng = SplitMix64::new(3);
+    let spec = LockSpec::random(TapSet::maximal(16).unwrap(), 8, 6, &mut rng);
+    let seed = spec.random_seed(&mut rng);
+    let mut chip = LockedScanChip::new(&c, chain, spec, seed);
+    let pattern = vec![true, false, false, true, true, false, true, false];
+    let pis: Vec<bool> = (0..10).map(|_| rng.gen_bool()).collect();
+    let reference = chip.query(&pattern, &pis);
+    for _ in 0..10 {
+        let noise_pat: Vec<bool> = (0..8).map(|_| rng.gen_bool()).collect();
+        let noise_pis: Vec<bool> = (0..10).map(|_| rng.gen_bool()).collect();
+        chip.query_captures(&noise_pat, &noise_pis, 1 + rng.gen_index(4));
+        assert_eq!(chip.query(&pattern, &pis), reference);
+    }
+}
