@@ -1,8 +1,26 @@
-//! The Tseitin encoder.
+//! The constraint encoder: Tseitin for gates, native GF(2) for parity.
 
 use gf2::BitVec;
 use netlist::{Circuit, GateKind, NetId};
-use satsolver::{Lit, Solver};
+use satsolver::{Constraint, Lit, Solver, XorClause};
+
+/// How the encoder emits parity structure (`xor2`, `parity`,
+/// `linear_form`, and XOR/XNOR gates).
+///
+/// [`Native`](XorMode::Native) keeps parity linear: one definition
+/// variable and one [`XorClause`] per constraint, handled by the solver's
+/// in-solver GF(2) engine. [`Tseitin`](XorMode::Tseitin) is the classical
+/// clause expansion — a chain of 4-clause xor definitions — kept as a
+/// differential reference; CDCL must prove parity facts over it by
+/// resolution, which is exponential in the chain length.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum XorMode {
+    /// Emit native xor constraints to the solver's GF(2) engine.
+    #[default]
+    Native,
+    /// Expand parity to clauses via auxiliary-variable chains.
+    Tseitin,
+}
 
 /// SAT literals for one combinational frame of a circuit.
 ///
@@ -26,31 +44,46 @@ impl CombCone {
     }
 }
 
-/// Incremental Tseitin encoder owning a [`Solver`].
+/// Incremental constraint encoder owning a [`Solver`].
 ///
 /// The encoder hands out fresh variables, caches a single pinned constant
 /// variable, and knows how to turn gates, parities, and whole
-/// combinational frames into clauses. Callers keep pushing structure into
-/// the same solver instance — that is what makes the DynUnlock DIP loop
-/// incremental: each oracle observation adds a cone, nothing is re-encoded.
+/// combinational frames into a constraint stream ([`Constraint`]) for the
+/// solver: clauses for gate logic, native xor constraints for parity
+/// (under the default [`XorMode::Native`]). Callers keep pushing structure
+/// into the same solver instance — that is what makes the DynUnlock DIP
+/// loop incremental: each oracle observation adds a cone, nothing is
+/// re-encoded.
 ///
 /// Returned literals are *logically* equal to the encoded function in every
-/// model of the clause set; gate outputs use fresh definition variables,
+/// model of the constraint set; gate outputs use fresh definition variables,
 /// while trivial cases (buffers, single-input gates, constant folding) are
-/// resolved to existing literals without new clauses.
+/// resolved to existing literals without new constraints.
 #[derive(Debug, Default)]
 pub struct Encoder {
     solver: Solver,
     const_true: Option<Lit>,
+    mode: XorMode,
 }
 
 impl Encoder {
-    /// A new encoder over an empty solver.
+    /// A new encoder over an empty solver, with native xor emission.
     pub fn new() -> Encoder {
+        Encoder::with_mode(XorMode::default())
+    }
+
+    /// A new encoder with an explicit parity-emission mode.
+    pub fn with_mode(mode: XorMode) -> Encoder {
         Encoder {
             solver: Solver::new(),
             const_true: None,
+            mode,
         }
+    }
+
+    /// The parity-emission mode this encoder was built with.
+    pub fn xor_mode(&self) -> XorMode {
+        self.mode
     }
 
     /// The underlying solver.
@@ -113,9 +146,29 @@ impl Encoder {
         }
     }
 
+    /// Adds one constraint-stream element. Returns `false` if the solver
+    /// became unsatisfiable.
+    pub fn assert_constraint(&mut self, constraint: &Constraint) -> bool {
+        self.solver.add_constraint(constraint)
+    }
+
     /// Adds a clause. Returns `false` if the solver became unsatisfiable.
     pub fn assert_clause(&mut self, lits: &[Lit]) -> bool {
         self.solver.add_clause(lits)
+    }
+
+    /// Constrains `⊕ lits = rhs`, respecting the encoder's [`XorMode`].
+    /// Returns `false` if the solver became unsatisfiable.
+    pub fn assert_xor(&mut self, lits: &[Lit], rhs: bool) -> bool {
+        match self.mode {
+            XorMode::Native => self
+                .solver
+                .add_constraint(&Constraint::Xor(XorClause::new(lits.to_vec(), rhs))),
+            XorMode::Tseitin => {
+                let p = self.parity(lits);
+                self.assert_lit(if rhs { p } else { !p })
+            }
+        }
     }
 
     /// Pins a literal true. Returns `false` on conflict.
@@ -130,8 +183,11 @@ impl Encoder {
 
     /// A literal equal to `a ⊕ b`.
     ///
-    /// Folds constants and syntactic (in)equality to existing literals; the
-    /// general case introduces one definition variable and four clauses.
+    /// Folds constants and syntactic (in)equality to existing literals
+    /// regardless of mode. The general case introduces one definition
+    /// variable: under [`XorMode::Native`] it is defined by one xor
+    /// constraint (`z ⊕ a ⊕ b = 0`), under [`XorMode::Tseitin`] by four
+    /// clauses.
     pub fn xor2(&mut self, a: Lit, b: Lit) -> Lit {
         if let Some(va) = self.as_const(a) {
             return if va { !b } else { b };
@@ -146,18 +202,64 @@ impl Encoder {
             return self.constant(true);
         }
         let z = self.fresh();
-        self.solver.add_clause(&[!z, a, b]);
-        self.solver.add_clause(&[!z, !a, !b]);
-        self.solver.add_clause(&[z, !a, b]);
-        self.solver.add_clause(&[z, a, !b]);
+        match self.mode {
+            XorMode::Native => {
+                self.solver
+                    .add_constraint(&Constraint::Xor(XorClause::new(vec![z, a, b], false)));
+            }
+            XorMode::Tseitin => {
+                self.solver.add_clause(&[!z, a, b]);
+                self.solver.add_clause(&[!z, !a, !b]);
+                self.solver.add_clause(&[z, !a, b]);
+                self.solver.add_clause(&[z, a, !b]);
+            }
+        }
         z
     }
 
     /// A literal equal to the XOR of all `lits` (false for an empty list).
+    ///
+    /// Under [`XorMode::Native`] a `k`-ary parity is **one** wide xor row
+    /// (`z ⊕ l1 ⊕ … ⊕ lk = 0`) — no auxiliary chain, so the solver's GF(2)
+    /// engine sees the whole constraint at once. Under
+    /// [`XorMode::Tseitin`] it is the classical fold of binary xors
+    /// (`k - 1` auxiliary variables, `4(k - 1)` clauses).
     pub fn parity(&mut self, lits: &[Lit]) -> Lit {
-        match lits.split_first() {
-            None => self.constant(false),
-            Some((&first, rest)) => rest.iter().fold(first, |acc, &l| self.xor2(acc, l)),
+        match (self.mode, lits.split_first()) {
+            (_, None) => self.constant(false),
+            (_, Some((&only, []))) => only,
+            (XorMode::Native, _) => {
+                // Fold constants into the right-hand side so the pinned
+                // constant variable stays out of the xor system.
+                let mut rhs = false;
+                let mut kept: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
+                for &l in lits {
+                    match self.as_const(l) {
+                        Some(v) => rhs ^= v,
+                        None => kept.push(l),
+                    }
+                }
+                match kept.len() {
+                    0 => self.constant(rhs),
+                    1 => {
+                        if rhs {
+                            !kept[0]
+                        } else {
+                            kept[0]
+                        }
+                    }
+                    _ => {
+                        let z = self.fresh();
+                        kept.push(z);
+                        self.solver
+                            .add_constraint(&Constraint::Xor(XorClause::new(kept, rhs)));
+                        z
+                    }
+                }
+            }
+            (XorMode::Tseitin, Some((&first, rest))) => {
+                rest.iter().fold(first, |acc, &l| self.xor2(acc, l))
+            }
         }
     }
 
@@ -357,18 +459,135 @@ mod tests {
 
     #[test]
     fn parity_and_linear_form_agree_with_bitvec_dot() {
+        for mode in [XorMode::Native, XorMode::Tseitin] {
+            let mut enc = Encoder::with_mode(mode);
+            let lits = enc.fresh_many(9);
+            let mut rng = SplitMix64::new(5);
+            for _ in 0..12 {
+                let row = BitVec::random(9, &mut rng);
+                let form = enc.linear_form(&lits, &row);
+                let values: Vec<bool> = (0..9).map(|_| rng.gen_bool()).collect();
+                let mut assumptions = pin(&lits, &values);
+                assumptions.push(form);
+                let expect = row.dot(&BitVec::from_bools(values.iter().copied()));
+                let sat = enc.solver_mut().solve_assuming(&assumptions) == SolveResult::Sat;
+                assert_eq!(sat, expect, "{mode:?} form must equal row·x for {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn native_parity_is_one_xor_row_no_clauses() {
         let mut enc = Encoder::new();
-        let lits = enc.fresh_many(9);
-        let mut rng = SplitMix64::new(5);
-        for _ in 0..12 {
-            let row = BitVec::random(9, &mut rng);
-            let form = enc.linear_form(&lits, &row);
-            let values: Vec<bool> = (0..9).map(|_| rng.gen_bool()).collect();
-            let mut assumptions = pin(&lits, &values);
-            assumptions.push(form);
-            let expect = row.dot(&BitVec::from_bools(values.iter().copied()));
-            let sat = enc.solver_mut().solve_assuming(&assumptions) == SolveResult::Sat;
-            assert_eq!(sat, expect, "form must equal row·x for row {row:?}");
+        assert_eq!(enc.xor_mode(), XorMode::Native);
+        let lits = enc.fresh_many(16);
+        let p = enc.parity(&lits);
+        assert_eq!(enc.solver().num_clauses(), 0, "no Tseitin expansion");
+        assert_eq!(enc.solver().num_xors(), 1, "one wide row");
+        assert_eq!(enc.solver().num_vars(), 17, "one definition variable");
+        // The wide row really defines the parity.
+        let mut assumptions = pin(&lits, &[true; 16]);
+        assumptions.push(p);
+        assert_eq!(
+            enc.solver_mut().solve_assuming(&assumptions),
+            SolveResult::Unsat,
+            "16 ones have even parity"
+        );
+    }
+
+    #[test]
+    fn tseitin_parity_still_expands_to_clauses() {
+        let mut enc = Encoder::with_mode(XorMode::Tseitin);
+        let lits = enc.fresh_many(16);
+        let _ = enc.parity(&lits);
+        assert_eq!(enc.solver().num_xors(), 0, "no native rows in Tseitin mode");
+        assert_eq!(enc.solver().num_clauses(), 4 * 15, "4 clauses per xor2");
+        assert_eq!(enc.solver().num_vars(), 16 + 15, "a chain of aux vars");
+    }
+
+    #[test]
+    fn native_parity_folds_constants_into_rhs() {
+        let mut enc = Encoder::new();
+        let a = enc.fresh();
+        let b = enc.fresh();
+        let t = enc.constant(true);
+        let f = enc.constant(false);
+        // Constants must not enter the xor system as columns.
+        let p = enc.parity(&[a, t, b, f]);
+        assert_eq!(enc.solver().num_xors(), 1);
+        // p = a ⊕ b ⊕ 1: equal inputs give p = 1, unequal give p = 0.
+        assert_eq!(
+            enc.solver_mut().solve_assuming(&[a, b, p]),
+            SolveResult::Sat
+        );
+        assert_eq!(
+            enc.solver_mut().solve_assuming(&[a, !b, p]),
+            SolveResult::Unsat
+        );
+        // Single-survivor and no-survivor folds stay constraint-free.
+        let before = enc.solver().num_xors();
+        assert_eq!(enc.parity(&[a, t]), !a);
+        assert_eq!(enc.parity(&[t, f]), enc.constant(true));
+        assert_eq!(enc.solver().num_xors(), before);
+    }
+
+    #[test]
+    fn assert_xor_pins_parity_in_both_modes() {
+        for mode in [XorMode::Native, XorMode::Tseitin] {
+            let mut enc = Encoder::with_mode(mode);
+            let lits = enc.fresh_many(5);
+            assert!(enc.assert_xor(&lits, true));
+            assert_eq!(enc.solver_mut().solve(), SolveResult::Sat);
+            let parity = lits.iter().fold(false, |acc, &l| {
+                acc ^ enc.solver().lit_model_value(l).unwrap()
+            });
+            assert!(parity, "{mode:?}: model must have odd parity");
+            // Pinning all five false contradicts the constraint.
+            let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+            assert_eq!(
+                enc.solver_mut().solve_assuming(&negated),
+                SolveResult::Unsat
+            );
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_xor_heavy_circuits() {
+        // XOR/XNOR-rich random circuits: both encoders must assign every
+        // PO identically to the interpreter.
+        for seed in 0..3u64 {
+            let c = GeneratorConfig::new("xorheavy", 5, 3, 8, 60)
+                .with_seed(0xE0E + seed)
+                .generate();
+            let mut rng = SplitMix64::new(seed + 1);
+            let mut encs = [
+                Encoder::with_mode(XorMode::Native),
+                Encoder::with_mode(XorMode::Tseitin),
+            ];
+            let mut ev = Evaluator::new(&c);
+            for _ in 0..6 {
+                let pi_vals: Vec<bool> = (0..c.inputs().len()).map(|_| rng.gen_bool()).collect();
+                let st_vals: Vec<bool> = (0..c.num_dffs()).map(|_| rng.gen_bool()).collect();
+                ev.eval(&pi_vals, &st_vals);
+                let expect = ev.output_values();
+                for enc in &mut encs {
+                    let pis = enc.fresh_many(c.inputs().len());
+                    let state = enc.fresh_many(c.num_dffs());
+                    let cone = enc.comb(&c, &pis, &state);
+                    let mut assumptions = pin(&pis, &pi_vals);
+                    assumptions.extend(pin(&state, &st_vals));
+                    assert_eq!(
+                        enc.solver_mut().solve_assuming(&assumptions),
+                        SolveResult::Sat
+                    );
+                    let po: Vec<bool> = cone
+                        .po
+                        .iter()
+                        .map(|&l| enc.solver().lit_model_value(l).unwrap())
+                        .collect();
+                    assert_eq!(po, expect, "{:?} diverged on seed {seed}", enc.xor_mode());
+                }
+            }
         }
     }
 

@@ -1,8 +1,11 @@
-//! Tseitin CNF encoding of [`netlist`] circuits onto the [`satsolver`].
+//! Constraint encoding of [`netlist`] circuits onto the [`satsolver`]:
+//! Tseitin clauses for gate logic, native GF(2) xor constraints for
+//! parity.
 //!
 //! The bridge between the structural world (gates, nets, flops) and the
-//! clausal world the CDCL solver lives in. One [`Encoder`] owns a
-//! [`satsolver::Solver`] and incrementally appends structure to it:
+//! constraint world the solver lives in. One [`Encoder`] owns a
+//! [`satsolver::Solver`] and incrementally appends structure to it as a
+//! stream of [`satsolver::Constraint`]s:
 //!
 //! * [`Encoder::gate`] — one gate of any [`netlist::GateKind`], with
 //!   constant folding and definition-variable introduction only where a
@@ -12,7 +15,10 @@
 //!   sequential circuit by chaining `next_state` into the next call);
 //! * [`Encoder::linear_form`] — `row · x` parities over GF(2), the piece
 //!   that lets the DynUnlock attack express LFSR keystream bits as
-//!   literals over seed variables.
+//!   literals over seed variables. Under the default [`XorMode::Native`]
+//!   each form is **one** wide xor constraint handled by the solver's
+//!   GF(2) engine; [`XorMode::Tseitin`] keeps the classical clause
+//!   expansion as a differential reference.
 //!
 //! Everything is *incremental*: encoding never resets the solver, so DIP
 //! loops keep one warm instance and just keep adding cones and
@@ -48,4 +54,4 @@
 
 mod encoder;
 
-pub use encoder::{CombCone, Encoder};
+pub use encoder::{CombCone, Encoder, XorMode};

@@ -10,10 +10,11 @@
 fn main() {
     let cfg = duharness::HarnessConfig::from_env();
     println!(
-        "dynunlock reproduction: {} profiles, scale {}, key width {}",
+        "dynunlock reproduction: {} profiles, scale {}, key width {} (sweep {:?})",
         cfg.profiles.len(),
         cfg.scale,
-        cfg.key_width
+        cfg.key_width,
+        cfg.width_sweep
     );
     let rows = duharness::run_profiles(&cfg);
     print_rows(&rows);

@@ -47,6 +47,12 @@ pub struct HarnessConfig {
     pub scale: f64,
     /// Key-LFSR width (the paper's *key size*; Table III sweeps this).
     pub key_width: usize,
+    /// Extra key widths to sweep: the first profile is re-attacked once
+    /// per listed width and reported as `"{name}@w{width}"`. This is how
+    /// the harness shows the paper's Table III claim — attack cost grows
+    /// mildly with key size — without re-running every profile at every
+    /// width.
+    pub width_sweep: Vec<usize>,
     /// Key gates per chain, as a fraction of the flop count (≥ 2).
     pub gate_fraction: f64,
     /// Capture cycles per session.
@@ -58,12 +64,14 @@ pub struct HarnessConfig {
 }
 
 impl HarnessConfig {
-    /// CI smoke sizes: three profiles, small circuits, 16-bit keys.
+    /// CI smoke sizes: three profiles, small circuits, 64-bit keys with
+    /// one 80-bit sweep row.
     pub fn smoke() -> Self {
         HarnessConfig {
             profiles: vec!["s5378", "s13207", "s15850"],
             scale: 0.04,
-            key_width: 16,
+            key_width: 64,
+            width_sweep: vec![80],
             gate_fraction: 0.5,
             captures: 1,
             shuffled_chains: true,
@@ -71,19 +79,20 @@ impl HarnessConfig {
         }
     }
 
-    /// Full bench sizes: four profiles (both suites), 20-bit keys.
+    /// Full bench sizes: four profiles (both suites), 64-bit keys with a
+    /// 32- and 80-bit sweep.
     ///
-    /// Key width stops at 20 here, not the paper's 64+: our CDCL solver
-    /// has no XOR/Gaussian reasoning, and the miter's final UNSAT proof is
-    /// a resolution proof over the mask parities, which blows up past
-    /// ~24-bit keys (DESIGN.md §6). The paper's solver-facing claim —
-    /// iterations and time grow mildly with key size — is visible in the
-    /// 8→20 range this harness covers.
+    /// 64 bits matches the paper's headline key size. The old harness
+    /// capped the width at 20 because the solver's resolution-only UNSAT
+    /// proof over the mask parities blew up past ~24 bits; the native
+    /// GF(2) xor engine removed that cliff, so the sweep now brackets the
+    /// paper range from both sides (DESIGN.md §6).
     pub fn full() -> Self {
         HarnessConfig {
             profiles: vec!["s5378", "s13207", "s15850", "b20"],
             scale: 0.07,
-            key_width: 20,
+            key_width: 64,
+            width_sweep: vec![32, 80],
             gate_fraction: 0.5,
             captures: 1,
             shuffled_chains: true,
@@ -97,6 +106,7 @@ impl HarnessConfig {
             profiles: vec!["s5378", "b20"],
             scale: 0.01,
             key_width: 8,
+            width_sweep: vec![],
             gate_fraction: 0.75,
             captures: 1,
             shuffled_chains: true,
@@ -175,19 +185,33 @@ pub fn attack_profile(profile: &BenchmarkProfile, cfg: &HarnessConfig) -> Attack
     }
 }
 
-/// Runs [`attack_profile`] over every configured profile.
+/// Runs [`attack_profile`] over every configured profile, then re-attacks
+/// the first profile once per [`HarnessConfig::width_sweep`] width,
+/// reporting those rows as `"{name}@w{width}"`.
 ///
 /// # Panics
 ///
 /// Panics on unknown profile names or attack failures.
 pub fn run_profiles(cfg: &HarnessConfig) -> Vec<AttackRow> {
-    cfg.profiles
+    let mut rows: Vec<AttackRow> = cfg
+        .profiles
         .iter()
         .map(|name| {
             let profile = by_name(name).unwrap_or_else(|| panic!("unknown profile {name:?}"));
             attack_profile(profile, cfg)
         })
-        .collect()
+        .collect();
+    if let Some(first) = cfg.profiles.first() {
+        let profile = by_name(first).unwrap_or_else(|| panic!("unknown profile {first:?}"));
+        for &width in &cfg.width_sweep {
+            let mut swept = cfg.clone();
+            swept.key_width = width;
+            let mut row = attack_profile(profile, &swept);
+            row.name = format!("{}@w{width}", row.name);
+            rows.push(row);
+        }
+    }
+    rows
 }
 
 /// Prints the rows in the paper's table layout.
@@ -269,6 +293,36 @@ mod tests {
         let b = attack_profile(by_name("s5378").unwrap(), &cfg);
         assert_eq!(a.unlock.seed, b.unlock.seed);
         assert_eq!(a.unlock.dip_iterations, b.unlock.dip_iterations);
+    }
+
+    #[test]
+    fn ci_profiles_run_at_paper_key_widths() {
+        // Refactor guard: the paper's headline key size is 64 bits, and
+        // both CI-facing profiles must exercise it, with an 80-bit sweep
+        // row proving there is headroom past the paper.
+        for cfg in [HarnessConfig::smoke(), HarnessConfig::full()] {
+            assert!(
+                cfg.key_width >= 64,
+                "CI profiles must run at paper key widths (got {})",
+                cfg.key_width
+            );
+            assert!(
+                cfg.width_sweep.contains(&80),
+                "CI profiles must sweep a row at 80 bits"
+            );
+        }
+    }
+
+    #[test]
+    fn width_sweep_adds_labelled_rows() {
+        let mut cfg = HarnessConfig::tiny();
+        cfg.width_sweep = vec![12];
+        let rows = run_profiles(&cfg);
+        assert_eq!(rows.len(), cfg.profiles.len() + 1);
+        let swept = rows.last().unwrap();
+        assert_eq!(swept.name, "s5378@w12");
+        assert_eq!(swept.key_width, 12);
+        assert!(swept.unlock.verified);
     }
 
     #[test]

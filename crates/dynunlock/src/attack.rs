@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use cnf::Encoder;
+use cnf::{Encoder, XorMode};
 use gf2::{BitVec, Rng64, SplitMix64};
 use lfsr::recover::SeedRecovery;
 use netlist::Circuit;
@@ -25,6 +25,12 @@ pub struct AttackConfig {
     pub verify_queries: usize,
     /// RNG seed for the verification probes.
     pub rng_seed: u64,
+    /// How the encoder lowers parities (session-mask linear forms, miter
+    /// xors). [`XorMode::Native`] hands each one to the solver's GF(2)
+    /// engine as a single xor constraint — this is what makes wide keys
+    /// (64+ bits) tractable. [`XorMode::Tseitin`] keeps the classical
+    /// clause expansion as a differential reference.
+    pub xor_mode: XorMode,
 }
 
 impl Default for AttackConfig {
@@ -34,6 +40,7 @@ impl Default for AttackConfig {
             max_dips: 512,
             verify_queries: 16,
             rng_seed: 0xD15C0,
+            xor_mode: XorMode::Native,
         }
     }
 }
@@ -180,7 +187,10 @@ fn locked_cone(
 ///    stimulus; while the solver can find a stimulus on which the copies
 ///    disagree, query the oracle there and constrain both copies to the
 ///    observed response. The solver instance stays warm throughout —
-///    every iteration only appends clauses.
+///    every iteration only appends constraints. Under the default
+///    [`XorMode::Native`] the session-mask linear forms land in the
+///    solver's GF(2) engine as single wide xor rows instead of Tseitin
+///    chains, which is what keeps 64+-bit keys tractable.
 /// 2. **Linear phase**: once no distinguishing input exists, read the
 ///    session masks off the final model and hand them, as explicit linear
 ///    forms of the seed, to [`SeedRecovery`]. Full rank pins the seed
@@ -218,7 +228,7 @@ pub fn unlock<O: ScanAccess>(
     );
     let masks = session_masks(spec, n, cfg.captures);
 
-    let mut enc = Encoder::new();
+    let mut enc = Encoder::with_mode(cfg.xor_mode);
     let copies = [
         seed_copy(&mut enc, spec.width(), &masks),
         seed_copy(&mut enc, spec.width(), &masks),
@@ -357,6 +367,27 @@ mod tests {
         captures: usize,
         seed: u64,
     ) -> Unlock {
+        attack_roundtrip_mode(
+            circuit,
+            chain,
+            width,
+            num_gates,
+            captures,
+            seed,
+            XorMode::Native,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn attack_roundtrip_mode(
+        circuit: &Circuit,
+        chain: ScanChain,
+        width: usize,
+        num_gates: usize,
+        captures: usize,
+        seed: u64,
+        xor_mode: XorMode,
+    ) -> Unlock {
         let mut rng = Xoshiro256::new(seed);
         let taps = TapSet::maximal(width).unwrap();
         let spec = LockSpec::random(taps, chain.len(), num_gates, &mut rng);
@@ -364,6 +395,7 @@ mod tests {
         let mut oracle = LockedScanChip::new(circuit, chain.clone(), spec.clone(), secret.clone());
         let cfg = AttackConfig {
             captures,
+            xor_mode,
             ..AttackConfig::default()
         };
         let unlock = unlock(circuit, &chain, &spec, &mut oracle, &cfg).expect("attack converges");
@@ -408,6 +440,31 @@ mod tests {
         // inside attack_roundtrip by probe).
         let c = s208_like();
         attack_roundtrip(&c, ScanChain::natural(8), 16, 3, 1, 0xD3);
+    }
+
+    #[test]
+    fn native_and_tseitin_modes_recover_the_same_lock() {
+        // Same lock attacked under both lowering modes: both must verify,
+        // and on a full-rank instance both must land on the same seed.
+        let c = s208_like();
+        let native =
+            attack_roundtrip_mode(&c, ScanChain::natural(8), 12, 6, 1, 0xE4, XorMode::Native);
+        let tseitin =
+            attack_roundtrip_mode(&c, ScanChain::natural(8), 12, 6, 1, 0xE4, XorMode::Tseitin);
+        assert!(native.verified && tseitin.verified);
+        assert_eq!(native.rank, tseitin.rank, "rank is a property of the lock");
+        if native.nullity == 0 {
+            assert_eq!(native.seed, tseitin.seed);
+        }
+    }
+
+    #[test]
+    fn unlocks_64_bit_key_natively() {
+        // The headline width from the refactor: a 64-bit LFSR seed. Native
+        // xor keeps each mask bit a single solver row, so this stays fast.
+        let c = s208_like();
+        let u = attack_roundtrip(&c, ScanChain::natural(8), 64, 6, 1, 0xF5);
+        assert!(u.verified);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! where `α` (the load mask) and `β` (the unload mask) are per-position
 //! XOR masks, each an explicit GF(2) linear form of the seed. This module
 //! computes those forms with one [`lfsr::SymbolicLfsr`] walk.
+//!
+//! Downstream, the attack hands each form to the encoder as a parity over
+//! the symbolic seed variables. Under the default native xor mode every
+//! form becomes a single GF(2) row in the solver's xor engine — no
+//! Tseitin chain — so the cost of a mask bit is independent of how many
+//! seed bits it touches, and 64+-bit keys stay in reach.
 
 use gf2::BitVec;
 use lfsr::SymbolicLfsr;

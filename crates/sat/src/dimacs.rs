@@ -5,22 +5,31 @@
 //! clause terminated by `0`. Comment lines start with `c`; a trailing `%`
 //! section (as emitted by some SATLIB generators) is tolerated.
 //!
+//! The CryptoMiniSat **`x`-line XOR extension** is supported: a line
+//! starting with `x` declares a parity constraint — `x1 2 -3 0` means
+//! `x1 ⊕ x2 ⊕ ¬x3 = 1` (the XOR of the listed literals is *true*; a
+//! negated literal flips the effective right-hand side). X-lines count
+//! toward the header's clause total, matching CryptoMiniSat. This lets
+//! native-xor instances be dumped and diffed with external solvers.
+//!
 //! # Example
 //!
 //! ```
 //! use satsolver::dimacs::Cnf;
 //! use satsolver::SolveResult;
 //!
-//! let cnf = Cnf::parse("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+//! let cnf = Cnf::parse("p cnf 3 2\n1 2 0\nx1 2 -3 0\n").unwrap();
+//! assert_eq!(cnf.xors.len(), 1);
 //! let (mut solver, vars) = cnf.to_solver();
 //! assert_eq!(solver.solve(), SolveResult::Sat);
-//! assert_eq!(solver.value(vars[1]), Some(true));
 //! assert_eq!(Cnf::parse(&cnf.to_dimacs()).unwrap(), cnf);
+//! # let _ = vars;
 //! ```
 
 use std::fmt;
 
 use crate::types::{Lit, Var};
+use crate::xor::XorClause;
 use crate::Solver;
 
 /// Largest variable count a formula may declare: literals pack the
@@ -28,7 +37,8 @@ use crate::Solver;
 /// DIMACS variable numbers above `2^31` would silently wrap.
 pub const MAX_VARS: usize = (u32::MAX >> 1) as usize + 1;
 
-/// A CNF formula held as plain clause lists.
+/// A CNF formula held as plain clause lists, plus native xor constraints
+/// (the CryptoMiniSat `x`-line extension).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Cnf {
     /// Number of variables (indices `0..num_vars`); may exceed the highest
@@ -36,6 +46,8 @@ pub struct Cnf {
     pub num_vars: usize,
     /// The clauses, each a disjunction of literals.
     pub clauses: Vec<Vec<Lit>>,
+    /// Native parity constraints, written/read as `x`-lines.
+    pub xors: Vec<XorClause>,
 }
 
 impl Cnf {
@@ -44,6 +56,7 @@ impl Cnf {
         Cnf {
             num_vars,
             clauses: Vec::new(),
+            xors: Vec::new(),
         }
     }
 
@@ -56,7 +69,24 @@ impl Cnf {
         self.clauses.push(lits);
     }
 
-    /// Whether `assignment` (indexed by variable) satisfies every clause.
+    /// Appends a parity constraint `⊕ lits = rhs`, growing `num_vars` to
+    /// cover its literals. A trivially-true empty constraint (`⊕ ∅ = 0`)
+    /// is dropped, because the `x`-line format has no spelling for it; an
+    /// empty constraint with `rhs = true` is kept (it renders as `x 0`,
+    /// an unsatisfiable line).
+    pub fn add_xor(&mut self, lits: impl Into<Vec<Lit>>, rhs: bool) {
+        let lits = lits.into();
+        if lits.is_empty() && !rhs {
+            return;
+        }
+        for l in &lits {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.xors.push(XorClause { lits, rhs });
+    }
+
+    /// Whether `assignment` (indexed by variable) satisfies every clause
+    /// and every xor constraint.
     ///
     /// # Panics
     ///
@@ -66,14 +96,17 @@ impl Cnf {
         self.clauses.iter().all(|c| {
             c.iter()
                 .any(|l| assignment[l.var().index()] == l.is_positive())
-        })
+        }) && self.xors.iter().all(|x| x.eval(assignment))
     }
 
-    /// Parses DIMACS CNF text.
+    /// Parses DIMACS CNF text, including `x`-lines (see the module docs).
     ///
     /// The header is required. Fewer clauses than the header promises is an
-    /// error; extra clauses are an error too. Literals must stay within the
-    /// declared variable count.
+    /// error; extra clauses are an error too (x-lines count toward the
+    /// total). Literals must stay within the declared variable count. An
+    /// `x` prefix opens a parity constraint — attached (`x1 2 0`) or
+    /// standalone (`x 1 2 0`) — which may continue across lines like an
+    /// ordinary clause.
     ///
     /// # Errors
     ///
@@ -82,6 +115,7 @@ impl Cnf {
         let mut header: Option<(usize, usize)> = None;
         let mut cnf = Cnf::default();
         let mut current: Vec<Lit> = Vec::new();
+        let mut in_xor = false;
         let mut done = false;
 
         for (lineno, line) in input.lines().enumerate() {
@@ -127,15 +161,36 @@ impl Cnf {
                 None => return Err(DimacsError::MissingHeader { line: lineno + 1 }),
             };
             for tok in line.split_whitespace() {
+                let mut tok = tok;
+                // An 'x' prefix at the start of a constraint opens an
+                // xor clause; `x1` carries the first literal attached.
+                if !in_xor && current.is_empty() {
+                    if let Some(rest) = tok.strip_prefix('x') {
+                        in_xor = true;
+                        if rest.is_empty() {
+                            continue;
+                        }
+                        tok = rest;
+                    }
+                }
                 let code: i64 = tok.parse().map_err(|_| DimacsError::BadLiteral {
                     line: lineno + 1,
                     token: tok.to_string(),
                 })?;
                 if code == 0 {
-                    if cnf.clauses.len() == num_clauses {
+                    if cnf.clauses.len() + cnf.xors.len() == num_clauses {
                         return Err(DimacsError::TooManyClauses { line: lineno + 1 });
                     }
-                    cnf.clauses.push(std::mem::take(&mut current));
+                    if in_xor {
+                        // An x-line asserts XOR(listed literals) = true.
+                        cnf.xors.push(XorClause {
+                            lits: std::mem::take(&mut current),
+                            rhs: true,
+                        });
+                        in_xor = false;
+                    } else {
+                        cnf.clauses.push(std::mem::take(&mut current));
+                    }
                 } else {
                     let var = code.unsigned_abs() as usize;
                     if var > num_vars {
@@ -151,39 +206,67 @@ impl Cnf {
         }
 
         let (_, num_clauses) = header.ok_or(DimacsError::MissingHeader { line: 1 })?;
-        if !current.is_empty() {
+        if !current.is_empty() || in_xor {
             return Err(DimacsError::UnterminatedClause);
         }
-        if cnf.clauses.len() != num_clauses {
+        if cnf.clauses.len() + cnf.xors.len() != num_clauses {
             return Err(DimacsError::ClauseCountMismatch {
                 declared: num_clauses,
-                found: cnf.clauses.len(),
+                found: cnf.clauses.len() + cnf.xors.len(),
             });
         }
         Ok(cnf)
     }
 
     /// Renders the formula as DIMACS CNF text (inverse of [`Cnf::parse`]).
+    ///
+    /// Xor constraints become `x`-lines. The format asserts the XOR of the
+    /// listed literals is *true*, so a constraint with `rhs = false` is
+    /// written with its first literal's sign flipped — logically identical,
+    /// though re-parsing yields the sign-folded spelling (compare with
+    /// [`XorClause::canonical`] when a structural round-trip is needed).
     pub fn to_dimacs(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("p cnf {} {}\n", self.num_vars, self.clauses.len()));
+        out.push_str(&format!(
+            "p cnf {} {}\n",
+            self.num_vars,
+            self.clauses.len() + self.xors.len()
+        ));
         for c in &self.clauses {
             for l in c {
                 out.push_str(&format!("{} ", l.to_dimacs()));
             }
             out.push_str("0\n");
         }
+        for x in &self.xors {
+            out.push('x');
+            for (i, l) in x.lits.iter().enumerate() {
+                let flip = i == 0 && !x.rhs;
+                let code = if flip { -l.to_dimacs() } else { l.to_dimacs() };
+                out.push_str(&format!("{code} "));
+            }
+            if x.lits.is_empty() {
+                // `⊕ ∅ = 1`: an unsatisfiable empty x-line (`add_xor`
+                // drops the trivially-true case, which has no spelling).
+                debug_assert!(x.rhs);
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
         out
     }
 
-    /// Builds a fresh [`Solver`] loaded with this formula. Returns the
-    /// solver and the [`Var`] handles, where `vars[i]` is DIMACS variable
-    /// `i + 1`.
+    /// Builds a fresh [`Solver`] loaded with this formula — clauses plus
+    /// native xor constraints. Returns the solver and the [`Var`] handles,
+    /// where `vars[i]` is DIMACS variable `i + 1`.
     pub fn to_solver(&self) -> (Solver, Vec<Var>) {
         let mut s = Solver::new();
         let vars: Vec<Var> = (0..self.num_vars).map(|_| s.new_var()).collect();
         for c in &self.clauses {
             s.add_clause(c);
+        }
+        for x in &self.xors {
+            s.add_xor(&x.lits, x.rhs);
         }
         (s, vars)
     }
@@ -454,6 +537,165 @@ mod tests {
     fn errors_display() {
         let err = Cnf::parse("p cnf 2 1\n1 two 0\n").unwrap_err();
         assert!(err.to_string().contains("bad literal"));
+    }
+
+    #[test]
+    fn parse_xor_lines() {
+        let cnf = Cnf::parse("p cnf 4 3\n1 2 0\nx1 2 -3 0\nx 3 4 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.xors.len(), 2);
+        assert_eq!(
+            cnf.xors[0],
+            XorClause::new(
+                vec![
+                    Lit::from_dimacs(1),
+                    Lit::from_dimacs(2),
+                    Lit::from_dimacs(-3)
+                ],
+                true
+            )
+        );
+        assert_eq!(
+            cnf.xors[1],
+            XorClause::new(vec![Lit::from_dimacs(3), Lit::from_dimacs(4)], true)
+        );
+    }
+
+    #[test]
+    fn parse_multiline_xor() {
+        let cnf = Cnf::parse("p cnf 4 1\nx1 2\n3 4 0\n").unwrap();
+        assert_eq!(cnf.xors.len(), 1);
+        assert_eq!(cnf.xors[0].lits.len(), 4);
+        assert!(cnf.xors[0].rhs);
+    }
+
+    #[test]
+    fn xor_roundtrip_identity() {
+        // Parsed x-lines always carry rhs = true, so parse ∘ to_dimacs is
+        // the identity on parsed formulas.
+        let text = "p cnf 5 3\n1 -5 0\nx1 2 -3 0\nx4 5 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        let rendered = cnf.to_dimacs();
+        assert_eq!(Cnf::parse(&rendered).unwrap(), cnf);
+        assert_eq!(rendered, text);
+    }
+
+    #[test]
+    fn xor_roundtrip_folds_negative_rhs() {
+        // rhs = false is spelled by flipping the first literal's sign;
+        // the round trip is canonical-equal, not structurally equal.
+        let mut cnf = Cnf::new(3);
+        cnf.add_xor(vec![Lit::from_dimacs(1), Lit::from_dimacs(2)], false);
+        cnf.add_xor(vec![Lit::from_dimacs(-2), Lit::from_dimacs(3)], true);
+        let back = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(back.xors.len(), 2);
+        for (a, b) in back.xors.iter().zip(&cnf.xors) {
+            assert_eq!(a.canonical(), b.canonical());
+        }
+        // And identical truth tables.
+        for bits in 0..8u32 {
+            let a: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(cnf.eval(&a), back.eval(&a), "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn empty_xor_lines() {
+        // Trivially-true `⊕ ∅ = 0` is dropped; `⊕ ∅ = 1` renders as an
+        // unsatisfiable bare "x 0" line.
+        let mut cnf = Cnf::new(1);
+        cnf.add_xor(Vec::new(), false);
+        assert!(cnf.xors.is_empty());
+        cnf.add_xor(Vec::new(), true);
+        assert_eq!(cnf.xors.len(), 1);
+        let back = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(back.xors, cnf.xors);
+        let (mut s, _) = back.to_solver();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_lines_count_toward_header_total() {
+        assert_eq!(
+            Cnf::parse("p cnf 2 1\n1 0\nx1 2 0\n"),
+            Err(DimacsError::TooManyClauses { line: 3 })
+        );
+        assert_eq!(
+            Cnf::parse("p cnf 2 3\n1 0\nx1 2 0\n"),
+            Err(DimacsError::ClauseCountMismatch {
+                declared: 3,
+                found: 2
+            })
+        );
+    }
+
+    #[test]
+    fn unterminated_xor_is_an_error() {
+        assert_eq!(
+            Cnf::parse("p cnf 2 1\nx1 2\n"),
+            Err(DimacsError::UnterminatedClause)
+        );
+        assert_eq!(
+            Cnf::parse("p cnf 2 1\nx\n"),
+            Err(DimacsError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn xor_variables_respect_declared_count() {
+        let err = Cnf::parse("p cnf 2 1\nx1 -9 0\n").unwrap_err();
+        assert!(matches!(
+            err,
+            DimacsError::VariableOutOfRange { var: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn solve_parsed_xor_instance() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 = 1 forces x2 = 0, x3 = 1.
+        let cnf = Cnf::parse("p cnf 3 3\nx1 2 0\nx2 3 0\n1 0\n").unwrap();
+        let (mut s, vars) = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(vars[0]), Some(true));
+        assert_eq!(s.value(vars[1]), Some(false));
+        assert_eq!(s.value(vars[2]), Some(true));
+        let model: Vec<bool> = vars.iter().map(|&v| s.value(v).unwrap()).collect();
+        assert!(cnf.eval(&model));
+    }
+
+    #[test]
+    fn to_cnf_exports_xor_rows() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_xor(
+            &[
+                Lit::positive(vars[0]),
+                Lit::positive(vars[1]),
+                Lit::positive(vars[2]),
+            ],
+            true,
+        );
+        s.add_xor(
+            &[
+                Lit::positive(vars[1]),
+                Lit::positive(vars[2]),
+                Lit::positive(vars[3]),
+            ],
+            false,
+        );
+        let cnf = s.to_cnf();
+        assert_eq!(cnf.xors.len(), 2);
+        // The export is the RREF'd system: same solution set.
+        for bits in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let original = (a[0] ^ a[1] ^ a[2]) && !(a[1] ^ a[2] ^ a[3]);
+            assert_eq!(cnf.eval(&a), original, "assignment {a:?}");
+        }
+        // And it survives a textual round trip.
+        let back = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        for (a, b) in back.xors.iter().zip(&cnf.xors) {
+            assert_eq!(a.canonical(), b.canonical());
+        }
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * learnt-clause database reduction by activity with arena compaction;
 //! * incremental use: add clauses between `solve` calls, solve under
 //!   assumptions;
-//! * DIMACS CNF reading/writing ([`dimacs`]).
+//! * native XOR constraints via an in-solver GF(2) engine — incremental
+//!   Gauss–Jordan elimination plus watched-column propagation, with lazy
+//!   reason clauses feeding ordinary conflict analysis ([`xor`]);
+//! * DIMACS CNF reading/writing, including the CryptoMiniSat `x`-line
+//!   XOR extension ([`dimacs`]).
 //!
 //! # Example
 //!
@@ -40,6 +44,8 @@ pub mod dimacs;
 mod heap;
 mod solver;
 mod types;
+pub mod xor;
 
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};
+pub use xor::{Constraint, XorClause};

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::types::{LBool, Lit, Var};
+use crate::xor::{Constraint, XorClause, XorEngine, XorImplication};
 
 /// Outcome of a [`Solver::solve`] / [`Solver::solve_assuming`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,10 @@ pub struct SolverStats {
     pub minimized_literals: u64,
     /// Learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// Literals implied by the GF(2) xor engine during search.
+    pub xor_propagations: u64,
+    /// Conflicts detected by the GF(2) xor engine.
+    pub xor_conflicts: u64,
 }
 
 /// A watch-list entry: the watched clause plus a cached *blocker* literal
@@ -99,6 +104,13 @@ pub struct Solver {
     ok: bool,
     /// Model captured at the last `Sat` answer, per variable.
     model: Vec<Option<bool>>,
+    /// Native xor constraints: the in-solver GF(2) engine.
+    xors: XorEngine,
+    /// Scratch buffer for xor implications (reused across propagations).
+    xor_props: Vec<XorImplication>,
+    /// A conflict clause materialized from an xor row; it exists only
+    /// while conflict analysis reads it and is reclaimed right after.
+    xor_conflict: Option<ClauseRef>,
     stats: SolverStats,
 }
 
@@ -174,9 +186,12 @@ impl Solver {
     }
 
     /// Snapshots the current problem as a [`crate::dimacs::Cnf`]: the
-    /// top-level assignment as unit clauses plus every live original
-    /// clause. Learnt clauses are omitted (they are implied). Call between
-    /// `solve` calls, i.e. at decision level 0.
+    /// top-level assignment as unit clauses, every live original clause,
+    /// and the live xor rows as `x`-line constraints. Learnt clauses are
+    /// omitted (they are implied). The exported xors are the engine's
+    /// reduced row-echelon form — an equivalent system, not a textual copy
+    /// of what was added. Call between `solve` calls, i.e. at decision
+    /// level 0.
     pub fn to_cnf(&self) -> crate::dimacs::Cnf {
         debug_assert_eq!(self.decision_level(), 0);
         let mut cnf = crate::dimacs::Cnf::new(self.num_vars());
@@ -197,6 +212,9 @@ impl Solver {
                     .collect();
                 cnf.add_clause(lits);
             }
+        }
+        for x in self.xors.export() {
+            cnf.add_xor(x.lits, x.rhs);
         }
         cnf
     }
@@ -251,6 +269,7 @@ impl Solver {
             1 => {
                 self.unchecked_enqueue(out[0], None);
                 if self.propagate().is_some() {
+                    self.release_xor_conflict();
                     self.ok = false;
                 }
                 self.ok
@@ -261,6 +280,75 @@ impl Solver {
                 true
             }
         }
+    }
+
+    /// Adds a native parity constraint: the XOR of `lits` must equal
+    /// `rhs`.
+    ///
+    /// The constraint goes to the in-solver GF(2) engine (incremental
+    /// Gauss–Jordan plus watched-column propagation during search), not
+    /// through a Tseitin clause expansion — see [`crate::xor`]. Signs
+    /// fold into `rhs` and duplicate variables cancel. Returns `false` if
+    /// the solver is now known unsatisfiable at the top level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable not created with
+    /// [`Solver::new_var`].
+    pub fn add_xor(&mut self, lits: &[Lit], rhs: bool) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "xors are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        for l in lits {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unknown variable {}",
+                l.var()
+            );
+        }
+        let (vars, rhs) = XorClause {
+            lits: lits.to_vec(),
+            rhs,
+        }
+        .normalized();
+        let mut units = Vec::new();
+        if !self.xors.add(&vars, rhs, &self.assigns, &mut units) {
+            self.ok = false;
+            return false;
+        }
+        for u in units {
+            match self.lit_value(u) {
+                LBool::True => {}
+                LBool::False => {
+                    self.ok = false;
+                    return false;
+                }
+                LBool::Undef => self.unchecked_enqueue(u, None),
+            }
+        }
+        if self.propagate().is_some() {
+            self.release_xor_conflict();
+            self.ok = false;
+        }
+        self.ok
+    }
+
+    /// Adds one element of a constraint stream — the encoder → solver
+    /// interface that keeps parity native (see [`Constraint`]). Returns
+    /// `false` if the solver is now known unsatisfiable at the top level.
+    pub fn add_constraint(&mut self, constraint: &Constraint) -> bool {
+        match constraint {
+            Constraint::Clause(lits) => self.add_clause(lits),
+            Constraint::Xor(xc) => self.add_xor(&xc.lits, xc.rhs),
+        }
+    }
+
+    /// Number of live xor rows held by the GF(2) engine. The engine keeps
+    /// the system in reduced row-echelon form, so this is the rank of the
+    /// added xor system minus constraints absorbed into top-level units.
+    pub fn num_xors(&self) -> usize {
+        self.xors.num_rows()
     }
 
     /// Solves the current clause set.
@@ -294,6 +382,7 @@ impl Solver {
             return SolveResult::Unsat;
         }
         if self.propagate().is_some() {
+            self.release_xor_conflict();
             self.ok = false;
             return SolveResult::Unsat;
         }
@@ -344,10 +433,12 @@ impl Solver {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
                     // Conflict independent of any decision or assumption.
+                    self.release_xor_conflict();
                     self.ok = false;
                     return LBool::False;
                 }
                 let (learnt, backtrack) = self.analyze(confl);
+                self.release_xor_conflict();
                 self.cancel_until(backtrack);
                 self.stats.learnt_clauses += 1;
                 if learnt.len() == 1 {
@@ -557,11 +648,105 @@ impl Solver {
             }
             ws.truncate(j);
             self.watches[p.index()] = ws;
+            // GF(2) engine: wake xor rows watching this variable. Runs
+            // after the clause watches of `p`, before the next trail
+            // literal, so xor and unit propagation interleave.
+            if confl.is_none() && self.xors.involves(p.var().index()) {
+                confl = self.propagate_xor(p.var().index());
+            }
             if confl.is_some() {
                 break;
             }
         }
         confl
+    }
+
+    /// Processes the xor rows watching variable `v` after its assignment.
+    /// Implications are enqueued with materialized reason clauses; a
+    /// violated row becomes a materialized (temporary) conflict clause.
+    fn propagate_xor(&mut self, v: usize) -> Option<ClauseRef> {
+        let mut props = std::mem::take(&mut self.xor_props);
+        props.clear();
+        let conflict_row = self.xors.on_assign(v, &self.assigns, &mut props);
+        let mut confl = None;
+        for imp in &props {
+            match self.lit_value(imp.lit) {
+                // Another implication from this batch already assigned it
+                // consistently.
+                LBool::True => {}
+                LBool::Undef => {
+                    let cref = self.materialize_reason(imp.row, imp.lit);
+                    self.unchecked_enqueue(imp.lit, Some(cref));
+                    self.stats.xor_propagations += 1;
+                }
+                // Two rows disagreed on the variable: the later row is now
+                // fully falsified.
+                LBool::False => {
+                    confl = Some(self.materialize_conflict(imp.row));
+                    break;
+                }
+            }
+        }
+        if confl.is_none() {
+            if let Some(ri) = conflict_row {
+                confl = Some(self.materialize_conflict(ri));
+            }
+        }
+        if confl.is_some() {
+            self.qhead = self.trail.len();
+        }
+        self.xor_props = props;
+        confl
+    }
+
+    /// Builds the clause-shaped reason for an xor implication — the
+    /// implied literal plus the negations of the row's other (assigned)
+    /// literals — as an ordinary learnt clause: attached, subject to
+    /// database reduction (locked while it is a reason), remapped on
+    /// compaction. This is CryptoMiniSat-style lazy reason generation;
+    /// conflict analysis needs no xor-specific code.
+    fn materialize_reason(&mut self, row: u32, implied: Lit) -> ClauseRef {
+        let mut lits = vec![implied];
+        self.xors
+            .reason_lits(row, Some(implied.var()), &self.assigns, &mut lits);
+        debug_assert!(lits.len() >= 2);
+        // Slot 1 carries a highest-level false literal so the watch pair
+        // stays valid across backtracking (same invariant as learnts).
+        let mut max_i = 1;
+        for i in 2..lits.len() {
+            if self.level[lits[i].var().index()] > self.level[lits[max_i].var().index()] {
+                max_i = i;
+            }
+        }
+        lits.swap(1, max_i);
+        let cref = self.db.alloc(&lits, true);
+        self.learnts.push(cref);
+        self.attach_clause(cref);
+        self.stats.learnt_clauses += 1;
+        cref
+    }
+
+    /// Builds the fully-falsified clause of a violated xor row for
+    /// conflict analysis. The clause is not attached; it lives only until
+    /// [`Solver::release_xor_conflict`] reclaims it.
+    fn materialize_conflict(&mut self, row: u32) -> ClauseRef {
+        let mut lits = Vec::new();
+        self.xors.reason_lits(row, None, &self.assigns, &mut lits);
+        debug_assert!(lits.len() >= 2);
+        let cref = self.db.alloc(&lits, true);
+        self.stats.xor_conflicts += 1;
+        debug_assert!(self.xor_conflict.is_none());
+        self.xor_conflict = Some(cref);
+        cref
+    }
+
+    /// Reclaims the temporary xor conflict clause, if one is outstanding.
+    /// Called at every site that consumes a conflict from
+    /// [`Solver::propagate`].
+    fn release_xor_conflict(&mut self) {
+        if let Some(cref) = self.xor_conflict.take() {
+            self.db.delete(cref);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -985,6 +1170,160 @@ mod tests {
         let mut s = Solver::new();
         pigeonhole(&mut s, 5, 5);
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn native_xor_triangle_unsat_at_top_level() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1: the third row reduces to
+        // 0 = 1 under Gauss–Jordan, so the solver is poisoned on add.
+        let mut s = solver_with(3, &[]);
+        assert!(s.add_xor(&[lit(1), lit(2)], true));
+        assert!(s.add_xor(&[lit(2), lit(3)], true));
+        assert!(!s.add_xor(&[lit(1), lit(3)], true));
+        assert!(!s.is_ok());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn native_xor_units_fix_variables() {
+        let mut s = solver_with(3, &[]);
+        // x1 ⊕ ¬x2 = 0 ⇔ x1 ≠ x2; x1 ⊕ x2 ⊕ x3 = 0; x1 = 1.
+        assert!(s.add_xor(&[lit(1), lit(-2)], false));
+        assert!(s.add_xor(&[lit(1), lit(2), lit(3)], false));
+        assert!(s.add_xor(&[lit(1)], true));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(0)), Some(true));
+        assert_eq!(s.value(Var::from_index(1)), Some(false));
+        assert_eq!(s.value(Var::from_index(2)), Some(true));
+    }
+
+    #[test]
+    fn xor_search_propagation_and_conflicts() {
+        // Free variables force real decisions; the xor rows then propagate
+        // and conflict during search rather than at add time.
+        let mut s = solver_with(6, &[&[1, 2], &[3, 4], &[5, 6]]);
+        assert!(s.add_xor(&[lit(1), lit(3), lit(5)], true));
+        assert!(s.add_xor(&[lit(2), lit(4), lit(6)], true));
+        assert!(s.add_xor(&[lit(1), lit(2), lit(3), lit(4)], false));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = |code: i64| s.lit_model_value(lit(code)).unwrap();
+        assert!(m(1) ^ m(3) ^ m(5));
+        assert!(m(2) ^ m(4) ^ m(6));
+        assert!(!(m(1) ^ m(2) ^ m(3) ^ m(4)));
+        assert!(m(1) || m(2));
+    }
+
+    #[test]
+    fn xor_with_assumptions_does_not_poison() {
+        let mut s = solver_with(2, &[]);
+        assert!(s.add_xor(&[lit(1), lit(2)], true));
+        assert_eq!(s.solve_assuming(&[lit(1), lit(2)]), SolveResult::Unsat);
+        assert!(s.is_ok());
+        assert_eq!(s.solve_assuming(&[lit(1)]), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(1)), Some(false));
+        assert_eq!(s.solve_assuming(&[lit(-1)]), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(1)), Some(true));
+    }
+
+    #[test]
+    fn xor_constraint_stream_interface() {
+        use crate::xor::{Constraint, XorClause};
+        let mut s = solver_with(3, &[]);
+        assert!(s.add_constraint(&Constraint::Clause(vec![lit(1), lit(2)])));
+        assert!(s.add_constraint(&Constraint::Xor(XorClause::new(
+            vec![lit(1), lit(2), lit(3)],
+            true,
+        ))));
+        assert_eq!(s.num_xors(), 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = |code: i64| s.lit_model_value(lit(code)).unwrap();
+        assert!(m(1) || m(2));
+        assert!(m(1) ^ m(2) ^ m(3));
+    }
+
+    /// Exhaustive cross-check on small instances: random xor rows plus
+    /// random clauses, solver answer vs brute-force enumeration. This
+    /// drives the whole xor path — add-time elimination, watched-column
+    /// propagation, reason materialization, conflict analysis — through
+    /// thousands of states.
+    #[test]
+    fn xor_matches_brute_force_on_random_small_instances() {
+        use gf2::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(0x0DDB1A5);
+        for trial in 0..200u64 {
+            let n = 3 + (trial as usize % 8); // 3..=10 vars
+            let mut s = Solver::new();
+            for _ in 0..n {
+                s.new_var();
+            }
+            let mut xors: Vec<(Vec<usize>, bool)> = Vec::new();
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            let mut ok = true;
+            for _ in 0..2 + rng.gen_index(n) {
+                let k = 1 + rng.gen_index(n.min(4));
+                let vars: Vec<usize> = (0..k).map(|_| rng.gen_index(n)).collect();
+                let rhs = rng.gen_bool();
+                let lits: Vec<Lit> = vars
+                    .iter()
+                    .map(|&v| Lit::new(Var::from_index(v), rng.gen_bool()))
+                    .collect();
+                // Track the *literal* parity: solver folds signs into rhs.
+                let flips = lits.iter().filter(|l| !l.is_positive()).count();
+                xors.push((vars.clone(), rhs ^ (flips % 2 == 1)));
+                ok &= s.add_xor(&lits, rhs);
+            }
+            for _ in 0..rng.gen_index(2 * n) {
+                let k = 1 + rng.gen_index(3);
+                let c: Vec<(usize, bool)> =
+                    (0..k).map(|_| (rng.gen_index(n), rng.gen_bool())).collect();
+                let lits: Vec<Lit> = c
+                    .iter()
+                    .map(|&(v, pos)| Lit::new(Var::from_index(v), pos))
+                    .collect();
+                clauses.push(c);
+                ok &= s.add_clause(&lits);
+            }
+
+            let brute = (0..1u32 << n).any(|bits| {
+                let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                xors.iter()
+                    .all(|(vs, rhs)| vs.iter().fold(false, |acc, &v| acc ^ a[v]) == *rhs)
+                    && clauses
+                        .iter()
+                        .all(|c| c.iter().any(|&(v, pos)| a[v] == pos))
+            });
+            let got = ok && s.solve() == SolveResult::Sat;
+            assert_eq!(got, brute, "trial {trial} (n = {n}) diverged");
+            if got {
+                for (vs, rhs) in &xors {
+                    let parity = vs
+                        .iter()
+                        .fold(false, |acc, &v| acc ^ s.value(Var::from_index(v)).unwrap());
+                    assert_eq!(parity, *rhs, "trial {trial}: model violates an xor");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_parity_bank_is_easy_natively() {
+        // Two disagreeing 64-bit parities over the same variables, hidden
+        // from add-time reduction by a fresh "selector" variable each, so
+        // refutation needs search-time xor propagation. Plain CDCL over a
+        // Tseitin expansion needs exponential resolution here.
+        let mut s = Solver::new();
+        let xs: Vec<Var> = (0..64).map(|_| s.new_var()).collect();
+        let sel = [s.new_var(), s.new_var()];
+        let mut even: Vec<Lit> = xs.iter().map(|&v| Lit::positive(v)).collect();
+        even.push(Lit::positive(sel[0]));
+        let mut odd: Vec<Lit> = xs.iter().map(|&v| Lit::positive(v)).collect();
+        odd.push(Lit::positive(sel[1]));
+        assert!(s.add_xor(&even, false));
+        assert!(s.add_xor(&odd, true));
+        // sel0 = sel1 = 0 makes the bank contradictory.
+        assert!(s.add_clause(&[Lit::negative(sel[0])]));
+        assert!(s.add_clause(&[Lit::negative(sel[1])]) || !s.is_ok());
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

@@ -1,0 +1,684 @@
+//! Native XOR (parity) constraints and the in-solver GF(2) engine.
+//!
+//! A parity constraint `l1 ⊕ l2 ⊕ … ⊕ lk = rhs` compiled to CNF costs
+//! `k - 1` auxiliary variables and `4(k - 1)` clauses, and — much worse —
+//! forces the CDCL core to prove parity facts by *resolution*, which is
+//! exponential in the number of chained constraints (the classic
+//! Tseitin-formula lower bound). This module keeps parity linear end to
+//! end instead, the way CryptoMiniSat does:
+//!
+//! * [`XorClause`] is the first-class constraint type; [`Constraint`] is
+//!   the stream unit the encoder hands to [`Solver::add_constraint`].
+//! * [`XorEngine`] stores the xor system as dense GF(2) rows
+//!   ([`gf2::BitVec`] words — the same word-level row ops the rest of the
+//!   repository uses) and keeps it in **reduced row-echelon form** by
+//!   incremental Gauss–Jordan elimination: every constraint added between
+//!   solves is substituted against the top-level trail, reduced against
+//!   the existing pivots, and — if it survives — its fresh pivot column is
+//!   eliminated from every other row. Inconsistent rows surface
+//!   immediately as top-level UNSAT; singleton rows become top-level
+//!   units.
+//! * During search the engine propagates with **two watched columns** per
+//!   row, interleaved with unit propagation: when a watched variable is
+//!   assigned the row either rewatches an unassigned column, or has
+//!   become unit (propagate the last column) or fully assigned (check
+//!   parity, conflict on mismatch).
+//! * Propagations and conflicts are handed back to CDCL as *materialized
+//!   reason clauses* (lazy clause generation): the implied literal plus
+//!   the negations of the row's assigned literals. Reasons live in the
+//!   learnt-clause arena, so first-UIP analysis, recursive minimization,
+//!   assumptions, restarts, and database reduction all work unchanged;
+//!   conflict clauses are temporary and reclaimed right after analysis.
+//!
+//! Backtracking needs no undo hooks: row operations are linear
+//! combinations (sound regardless of the assignment) and watches are
+//! repaired lazily, exactly like clause watches.
+
+use gf2::BitVec;
+
+use crate::types::{LBool, Lit, Var};
+
+/// A native parity constraint: the XOR of `lits` must equal `rhs`.
+///
+/// A negated literal `¬x` contributes `x ⊕ 1`, so signs fold into the
+/// right-hand side; [`XorClause::normalized`] computes the canonical
+/// variables-and-parity form (sorted, duplicate pairs cancelled).
+///
+/// # Example
+///
+/// ```
+/// use satsolver::{Lit, Solver, SolveResult, XorClause};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// let c = s.new_var();
+/// // a ⊕ b ⊕ c = 1, and a = b: forces c = 1.
+/// s.add_xor(&[Lit::positive(a), Lit::positive(b), Lit::positive(c)], true);
+/// s.add_xor(&[Lit::positive(a), Lit::positive(b)], false);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.value(c), Some(true));
+/// # let _ = XorClause::new(vec![Lit::positive(a)], true);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XorClause {
+    /// The XORed literals.
+    pub lits: Vec<Lit>,
+    /// The parity the XOR must equal.
+    pub rhs: bool,
+}
+
+impl XorClause {
+    /// A parity constraint `⊕ lits = rhs`.
+    pub fn new(lits: impl Into<Vec<Lit>>, rhs: bool) -> XorClause {
+        XorClause {
+            lits: lits.into(),
+            rhs,
+        }
+    }
+
+    /// Canonical form: sorted unique variables and the folded parity.
+    /// Negative literals flip the parity; a variable appearing twice
+    /// cancels (x ⊕ x = 0).
+    pub fn normalized(&self) -> (Vec<Var>, bool) {
+        let mut rhs = self.rhs;
+        let mut vars: Vec<Var> = Vec::with_capacity(self.lits.len());
+        for l in &self.lits {
+            if !l.is_positive() {
+                rhs = !rhs;
+            }
+            vars.push(l.var());
+        }
+        vars.sort_unstable();
+        let mut out: Vec<Var> = Vec::with_capacity(vars.len());
+        for v in vars {
+            if out.last() == Some(&v) {
+                out.pop(); // pair cancels
+            } else {
+                out.push(v);
+            }
+        }
+        (out, rhs)
+    }
+
+    /// The canonical [`XorClause`] equivalent to this one: positive
+    /// literals over the normalized variables, parity in `rhs`.
+    pub fn canonical(&self) -> XorClause {
+        let (vars, rhs) = self.normalized();
+        XorClause {
+            lits: vars.into_iter().map(Lit::positive).collect(),
+            rhs,
+        }
+    }
+
+    /// Whether `assignment` (indexed by variable) satisfies the
+    /// constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable is out of range.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        let mut acc = false;
+        for l in &self.lits {
+            acc ^= assignment[l.var().index()] == l.is_positive();
+        }
+        acc == self.rhs
+    }
+}
+
+/// One element of the encoder → solver constraint stream: a disjunctive
+/// clause or a native parity constraint.
+///
+/// Solvers consume constraints through [`Solver::add_constraint`]; this is
+/// the interface that lets an encoder keep XOR structure linear instead of
+/// Tseitin-shredding it.
+///
+/// [`Solver::add_constraint`]: crate::Solver::add_constraint
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// A disjunction of literals.
+    Clause(Vec<Lit>),
+    /// A parity constraint.
+    Xor(XorClause),
+}
+
+/// Column index sentinel: "no column".
+const NONE: u32 = u32::MAX;
+
+/// One stored row: `bits · x = rhs` over the engine's column space.
+#[derive(Debug)]
+struct XorRow {
+    /// Coefficients, one bit per column (width kept uniform across rows).
+    bits: BitVec,
+    /// Right-hand parity.
+    rhs: bool,
+    /// The two watched columns (both set in `bits`, distinct).
+    watch: [u32; 2],
+    /// The row's pivot column (unique to this row in RREF).
+    pivot: u32,
+    /// Dead rows (eliminated to units/tautologies) are skipped lazily.
+    alive: bool,
+}
+
+/// A propagation discovered by the engine: `lit` is implied by row `row`
+/// under the current assignment.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct XorImplication {
+    pub(crate) lit: Lit,
+    pub(crate) row: u32,
+}
+
+/// The in-solver xor store and GF(2) propagation engine.
+#[derive(Debug, Default)]
+pub(crate) struct XorEngine {
+    rows: Vec<XorRow>,
+    /// Column → solver variable index.
+    col_var: Vec<u32>,
+    /// Variable index → column ([`NONE`] if the variable is in no xor).
+    var_col: Vec<u32>,
+    /// Column → row owning it as pivot ([`NONE`] if free).
+    pivot_row: Vec<u32>,
+    /// Column → rows watching it.
+    watchers: Vec<Vec<u32>>,
+    /// Uniform `bits` width of every live row (`>= col_var.len()`).
+    width: usize,
+    /// Live row count.
+    num_live: usize,
+}
+
+impl XorEngine {
+    /// Number of live xor rows.
+    pub(crate) fn num_rows(&self) -> usize {
+        self.num_live
+    }
+
+    /// Whether `var` participates in any xor row (cheap propagation gate).
+    pub(crate) fn involves(&self, var: usize) -> bool {
+        self.var_col.get(var).is_some_and(|&c| c != NONE)
+    }
+
+    /// The column for `var`, creating one if needed.
+    fn col_for(&mut self, var: Var) -> usize {
+        let v = var.index();
+        if self.var_col.len() <= v {
+            self.var_col.resize(v + 1, NONE);
+        }
+        if self.var_col[v] == NONE {
+            let col = self.col_var.len();
+            self.var_col[v] = col as u32;
+            self.col_var.push(v as u32);
+            self.pivot_row.push(NONE);
+            self.watchers.push(Vec::new());
+            if col >= self.width {
+                self.grow_width((col + 1).next_power_of_two().max(64));
+            }
+        }
+        self.var_col[v] as usize
+    }
+
+    /// Widens every live row's `bits` to `new_width` columns.
+    fn grow_width(&mut self, new_width: usize) {
+        for row in self.rows.iter_mut().filter(|r| r.alive) {
+            row.bits = row.bits.resized(new_width);
+        }
+        self.width = new_width;
+    }
+
+    /// Current value of the variable behind column `col`.
+    fn col_value(&self, col: usize, assigns: &[LBool]) -> LBool {
+        assigns[self.col_var[col] as usize]
+    }
+
+    /// Adds `⊕ vars = rhs` (already normalized) at decision level 0.
+    ///
+    /// Substitutes top-level assignments, reduces against the existing
+    /// pivots (incremental Gauss–Jordan), and installs the surviving row,
+    /// eliminating its pivot column from every other row. Implied
+    /// top-level units are pushed to `units` for the caller to enqueue.
+    /// Returns `false` if the xor system became inconsistent.
+    pub(crate) fn add(
+        &mut self,
+        vars: &[Var],
+        rhs: bool,
+        assigns: &[LBool],
+        units: &mut Vec<Lit>,
+    ) -> bool {
+        // Substitute fixed variables, map the rest onto columns.
+        let mut rhs = rhs;
+        let mut cols: Vec<usize> = Vec::with_capacity(vars.len());
+        for &v in vars {
+            match assigns[v.index()] {
+                LBool::True => rhs = !rhs,
+                LBool::False => {}
+                LBool::Undef => cols.push(self.col_for(v)),
+            }
+        }
+        if self.width == 0 {
+            // Every variable was substituted (and `col_for` grows the
+            // width before the first real column): constant constraint.
+            debug_assert!(cols.is_empty());
+            return !rhs;
+        }
+        let mut bits = BitVec::zeros(self.width);
+        for &c in &cols {
+            bits.flip(c);
+        }
+
+        // Reduce against existing pivots. Pivot rows contain no *other*
+        // pivot column (RREF), so a single ascending scan terminates.
+        let mut scan = 0usize;
+        while let Some(c) = first_one_from(&bits, scan) {
+            let owner = self.pivot_row[c];
+            if owner == NONE {
+                scan = c + 1;
+                continue;
+            }
+            let row = &self.rows[owner as usize];
+            xor_into(&mut bits, &row.bits);
+            rhs ^= row.rhs;
+            scan = c + 1;
+        }
+
+        self.install(bits, rhs, assigns, units)
+    }
+
+    /// Installs a pivot-reduced row: registers its pivot, eliminates that
+    /// column from every other live row, and sets up watches. Returns
+    /// `false` on inconsistency.
+    fn install(
+        &mut self,
+        bits: BitVec,
+        rhs: bool,
+        assigns: &[LBool],
+        units: &mut Vec<Lit>,
+    ) -> bool {
+        let Some(pivot) = bits.first_one() else {
+            return !rhs;
+        };
+        if only_one(&bits) {
+            // Singleton: a top-level unit, not a stored row.
+            units.push(Lit::new(Var::from_index(self.col_var[pivot] as usize), rhs));
+            return true;
+        }
+
+        // Gauss–Jordan: clear the new pivot column from every other row.
+        let mut touched: Vec<u32> = Vec::new();
+        for ri in 0..self.rows.len() {
+            if !self.rows[ri].alive || !self.rows[ri].bits.get(pivot) {
+                continue;
+            }
+            let row = &mut self.rows[ri];
+            xor_into_unsized(&mut row.bits, &bits);
+            row.rhs ^= rhs;
+            touched.push(ri as u32);
+        }
+        let mut ok = true;
+        for &ri in &touched {
+            ok &= self.repair_row(ri as usize, assigns, units);
+        }
+        if !ok {
+            return false;
+        }
+
+        let idx = self.rows.len();
+        self.pivot_row[pivot] = idx as u32;
+        self.rows.push(XorRow {
+            bits,
+            rhs,
+            watch: [NONE, NONE],
+            pivot: pivot as u32,
+            alive: true,
+        });
+        self.num_live += 1;
+        self.attach_watches(idx, assigns, units)
+    }
+
+    /// Re-examines a row whose bits just changed at level 0: it may have
+    /// degenerated to empty (tautology or inconsistency), to a unit, or
+    /// lost a watched column. Returns `false` on inconsistency.
+    fn repair_row(&mut self, ri: usize, assigns: &[LBool], units: &mut Vec<Lit>) -> bool {
+        if self.rows[ri].bits.is_zero() {
+            let rhs = self.rows[ri].rhs;
+            self.kill_row(ri);
+            return !rhs;
+        }
+        self.unwatch_row(ri);
+        self.attach_watches(ri, assigns, units)
+    }
+
+    /// Drops both watcher-list registrations of row `ri`.
+    fn unwatch_row(&mut self, ri: usize) {
+        let watch = self.rows[ri].watch;
+        self.rows[ri].watch = [NONE, NONE];
+        for w in watch {
+            if w == NONE {
+                continue;
+            }
+            if let Some(pos) = self.watchers[w as usize]
+                .iter()
+                .position(|&r| r == ri as u32)
+            {
+                self.watchers[w as usize].swap_remove(pos);
+            }
+        }
+    }
+
+    /// Installs watches on two unassigned columns of live row `ri` (which
+    /// must currently have no registered watches). If fewer than two
+    /// columns are unassigned the row is resolved on the spot — unit
+    /// (pushed to `units`), satisfied, or inconsistent (returns `false`) —
+    /// and retired. Watching only unassigned columns is what keeps search
+    /// propagation complete: a watch on an already-assigned variable never
+    /// fires again.
+    fn attach_watches(&mut self, ri: usize, assigns: &[LBool], units: &mut Vec<Lit>) -> bool {
+        let mut unassigned = [NONE; 2];
+        let mut count = 0;
+        for c in self.rows[ri].bits.iter_ones() {
+            if self.col_value(c, assigns) == LBool::Undef {
+                unassigned[count] = c as u32;
+                count += 1;
+                if count == 2 {
+                    break;
+                }
+            }
+        }
+        match count {
+            2 => {
+                self.rows[ri].watch = unassigned;
+                for w in unassigned {
+                    self.watchers[w as usize].push(ri as u32);
+                }
+                true
+            }
+            1 => {
+                // Unit under the level-0 assignment.
+                let target = unassigned[0] as usize;
+                let rhs = self.row_residual(ri, target, assigns);
+                units.push(Lit::new(
+                    Var::from_index(self.col_var[target] as usize),
+                    rhs,
+                ));
+                self.kill_row(ri);
+                true
+            }
+            _ => {
+                // Fully assigned at level 0: satisfied or inconsistent.
+                let mut acc = self.rows[ri].rhs;
+                for c in self.rows[ri].bits.iter_ones() {
+                    acc ^= self.col_value(c, assigns) == LBool::True;
+                }
+                self.kill_row(ri);
+                !acc
+            }
+        }
+    }
+
+    /// The parity forced on column `skip` by the rest of row `ri` under
+    /// the current assignment (all other columns must be assigned).
+    fn row_residual(&self, ri: usize, skip: usize, assigns: &[LBool]) -> bool {
+        let row = &self.rows[ri];
+        let mut acc = row.rhs;
+        for c in row.bits.iter_ones() {
+            if c != skip {
+                acc ^= self.col_value(c, assigns) == LBool::True;
+            }
+        }
+        acc
+    }
+
+    /// Marks a row dead and releases its pivot and watch entries.
+    fn kill_row(&mut self, ri: usize) {
+        let row = &mut self.rows[ri];
+        if !row.alive {
+            return;
+        }
+        row.alive = false;
+        let pivot = row.pivot;
+        let watch = row.watch;
+        if pivot != NONE && self.pivot_row[pivot as usize] == ri as u32 {
+            self.pivot_row[pivot as usize] = NONE;
+        }
+        for w in watch {
+            if w == NONE {
+                continue;
+            }
+            if let Some(pos) = self.watchers[w as usize]
+                .iter()
+                .position(|&r| r == ri as u32)
+            {
+                self.watchers[w as usize].swap_remove(pos);
+            }
+        }
+        self.num_live -= 1;
+    }
+
+    /// Search-time hook: variable `v` was just assigned. Visits every row
+    /// watching it; rows rewatch an unassigned column when one exists,
+    /// otherwise they propagate their last column or report a conflict.
+    /// Implications are appended to `out`; the first conflicting row index
+    /// is returned (remaining watchers stay intact).
+    pub(crate) fn on_assign(
+        &mut self,
+        v: usize,
+        assigns: &[LBool],
+        out: &mut Vec<XorImplication>,
+    ) -> Option<u32> {
+        let col = match self.var_col.get(v) {
+            Some(&c) if c != NONE => c as usize,
+            _ => return None,
+        };
+        let list = std::mem::take(&mut self.watchers[col]);
+        let mut kept: Vec<u32> = Vec::with_capacity(list.len());
+        let mut conflict = None;
+        let mut i = 0;
+        while i < list.len() {
+            let ri = list[i];
+            i += 1;
+            if !self.rows[ri as usize].alive {
+                continue; // drop stale entry
+            }
+            let watch = self.rows[ri as usize].watch;
+            let slot = if watch[0] == col as u32 {
+                0
+            } else if watch[1] == col as u32 {
+                1
+            } else {
+                continue; // stale entry for a moved watch
+            };
+            let other = watch[1 - slot];
+
+            // Try to rewatch an unassigned column.
+            let mut replacement = None;
+            for c in self.rows[ri as usize].bits.iter_ones() {
+                if c == col || c as u32 == other {
+                    continue;
+                }
+                if self.col_value(c, assigns) == LBool::Undef {
+                    replacement = Some(c);
+                    break;
+                }
+            }
+            if let Some(c) = replacement {
+                self.rows[ri as usize].watch[slot] = c as u32;
+                self.watchers[c].push(ri);
+                continue;
+            }
+
+            // No replacement: every column but `other` is assigned.
+            kept.push(ri);
+            let rhs = self.row_residual(ri as usize, other as usize, assigns);
+            let ov = self.col_var[other as usize] as usize;
+            match assigns[ov] {
+                LBool::Undef => out.push(XorImplication {
+                    lit: Lit::new(Var::from_index(ov), rhs),
+                    row: ri,
+                }),
+                val => {
+                    if (val == LBool::True) != rhs {
+                        conflict = Some(ri);
+                        kept.extend_from_slice(&list[i..]);
+                        break;
+                    }
+                }
+            }
+        }
+        // Watchers processed after a conflict (or that kept their watch)
+        // stay registered on this column.
+        self.watchers[col].extend_from_slice(&kept);
+        conflict
+    }
+
+    /// Pushes the falsified literal of every assigned column of row `ri`
+    /// (skipping `skip_var`, the implied variable, when given). This is
+    /// the clause-shaped reason CDCL analysis consumes.
+    pub(crate) fn reason_lits(
+        &self,
+        ri: u32,
+        skip_var: Option<Var>,
+        assigns: &[LBool],
+        out: &mut Vec<Lit>,
+    ) {
+        let row = &self.rows[ri as usize];
+        let skip = skip_var.map(|v| v.index());
+        for c in row.bits.iter_ones() {
+            let v = self.col_var[c] as usize;
+            if Some(v) == skip {
+                continue;
+            }
+            // The literal currently false: the negation of the assignment.
+            debug_assert_ne!(assigns[v], LBool::Undef);
+            out.push(Lit::new(Var::from_index(v), assigns[v] == LBool::False));
+        }
+    }
+
+    /// Snapshots the live rows as [`XorClause`]s (positive literals over
+    /// each row's columns). The rows are the RREF of everything added — an
+    /// equivalent, not textually identical, system.
+    pub(crate) fn export(&self) -> Vec<XorClause> {
+        self.rows
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| XorClause {
+                lits: r
+                    .bits
+                    .iter_ones()
+                    .map(|c| Lit::positive(Var::from_index(self.col_var[c] as usize)))
+                    .collect(),
+                rhs: r.rhs,
+            })
+            .collect()
+    }
+}
+
+/// `dst ^= src` where `src.len() <= dst.len()` (word-level; relies on the
+/// [`BitVec`] tail invariant).
+fn xor_into(dst: &mut BitVec, src: &BitVec) {
+    debug_assert!(src.len() <= dst.len());
+    for (d, s) in dst.as_words_mut().iter_mut().zip(src.as_words()) {
+        *d ^= s;
+    }
+}
+
+/// `dst ^= src`, resizing `dst` up first if `src` is wider.
+fn xor_into_unsized(dst: &mut BitVec, src: &BitVec) {
+    if dst.len() < src.len() {
+        *dst = dst.resized(src.len());
+    }
+    xor_into(dst, src);
+}
+
+/// Index of the lowest set bit at or above `from`.
+fn first_one_from(bits: &BitVec, from: usize) -> Option<usize> {
+    bits.iter_ones().find(|&c| c >= from)
+}
+
+/// Whether exactly one bit is set.
+fn only_one(bits: &BitVec) -> bool {
+    bits.count_ones() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(codes: &[i64]) -> Vec<Lit> {
+        codes.iter().map(|&c| Lit::from_dimacs(c)).collect()
+    }
+
+    #[test]
+    fn normalization_folds_signs_and_pairs() {
+        // ¬x1 ⊕ x2 ⊕ x1 ⊕ x2 ⊕ x3 = 1  ⇒  x3 = 0 (one sign flip).
+        let xc = XorClause::new(lits(&[-1, 2, 1, 2, 3]), true);
+        let (vars, rhs) = xc.normalized();
+        assert_eq!(vars, vec![Var::from_index(2)]);
+        assert!(!rhs);
+        let canon = xc.canonical();
+        assert_eq!(canon.lits, lits(&[3]));
+        assert!(!canon.rhs);
+    }
+
+    #[test]
+    fn normalization_cancels_triples_to_one() {
+        let xc = XorClause::new(lits(&[1, 1, 1]), true);
+        let (vars, rhs) = xc.normalized();
+        assert_eq!(vars, vec![Var::from_index(0)]);
+        assert!(rhs);
+    }
+
+    #[test]
+    fn eval_checks_parity() {
+        let xc = XorClause::new(lits(&[1, -2]), true);
+        // x1 ⊕ ¬x2 = 1  ⇔  x1 = x2.
+        assert!(xc.eval(&[true, true]));
+        assert!(xc.eval(&[false, false]));
+        assert!(!xc.eval(&[true, false]));
+    }
+
+    #[test]
+    fn engine_reduces_duplicate_rows_to_nothing() {
+        let mut eng = XorEngine::default();
+        let assigns = vec![LBool::Undef; 4];
+        let mut units = Vec::new();
+        let vars: Vec<Var> = (0..3).map(Var::from_index).collect();
+        assert!(eng.add(&vars, true, &assigns, &mut units));
+        assert_eq!(eng.num_rows(), 1);
+        // The same row again is redundant.
+        assert!(eng.add(&vars, true, &assigns, &mut units));
+        assert_eq!(eng.num_rows(), 1);
+        assert!(units.is_empty());
+        // The same row with flipped parity is inconsistent.
+        assert!(!eng.add(&vars, false, &assigns, &mut units));
+    }
+
+    #[test]
+    fn engine_derives_units_by_elimination() {
+        // x0 ⊕ x1 = 1 and x0 ⊕ x1 ⊕ x2 = 1 force x2 = 0 by row reduction.
+        let mut eng = XorEngine::default();
+        let assigns = vec![LBool::Undef; 4];
+        let mut units = Vec::new();
+        let v: Vec<Var> = (0..3).map(Var::from_index).collect();
+        assert!(eng.add(&[v[0], v[1]], true, &assigns, &mut units));
+        assert!(eng.add(&[v[0], v[1], v[2]], true, &assigns, &mut units));
+        assert_eq!(units, vec![Lit::negative(v[2])]);
+        assert_eq!(eng.num_rows(), 1, "the combined row dies into the unit");
+    }
+
+    #[test]
+    fn export_is_an_equivalent_system() {
+        let mut eng = XorEngine::default();
+        let assigns = vec![LBool::Undef; 8];
+        let mut units = Vec::new();
+        let v: Vec<Var> = (0..4).map(Var::from_index).collect();
+        eng.add(&[v[0], v[1], v[2]], true, &assigns, &mut units);
+        eng.add(&[v[1], v[2], v[3]], false, &assigns, &mut units);
+        let rows = eng.export();
+        assert_eq!(rows.len(), 2);
+        // Brute-force: the exported system has the same solution set.
+        for bits in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let original = (a[0] ^ a[1] ^ a[2]) && !(a[1] ^ a[2] ^ a[3]);
+            let exported = rows.iter().all(|r| r.eval(&a));
+            assert_eq!(original, exported, "assignment {a:?}");
+        }
+    }
+}

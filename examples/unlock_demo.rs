@@ -3,9 +3,12 @@
 //!
 //! The script follows the paper's attack flow:
 //!
-//! 1. build a circuit and lock its scan chain (key LFSR + XOR key gates);
+//! 1. build a circuit and lock its scan chain (a 64-bit key LFSR + XOR
+//!    key gates — the paper's headline key size);
 //! 2. run the SAT-based DIP loop against the locked chip as a black-box
-//!    oracle until no distinguishing input pattern remains;
+//!    oracle until no distinguishing input pattern remains (each session
+//!    mask bit is one native GF(2) xor constraint in the solver, which is
+//!    why a 64-bit key is no harder than an 8-bit one here);
 //! 3. recover the seed by Gaussian elimination over the session masks;
 //! 4. confirm the unlocked model reproduces the real chip bit-for-bit.
 //!
@@ -20,14 +23,16 @@ use dynunlock_repro::sim::{ScanAccess, ScanChain};
 
 fn main() {
     // 1. The design: a scaled s5378-profile circuit with a shuffled scan
-    //    stitching, locked with a 20-bit key LFSR driving key gates on
-    //    half the chain segments.
+    //    stitching, locked with a 64-bit key LFSR — the paper's headline
+    //    key size — driving key gates on half the chain segments. The
+    //    session-mask parities land in the solver's native GF(2) engine,
+    //    so the width costs the attack almost nothing.
     let profile = by_name("s5378").expect("paper profile").scaled(0.07);
     let circuit = profile.build(3);
     let n = circuit.num_dffs();
     let mut rng = Xoshiro256::new(0x5EED);
     let chain = ScanChain::shuffled(n, &mut rng);
-    let taps = TapSet::maximal(20).expect("tabulated width");
+    let taps = TapSet::maximal(64).expect("tabulated width");
     let spec = LockSpec::random(taps, n, n / 2, &mut rng);
     let secret = spec.random_seed(&mut rng);
     println!(
