@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};

@@ -61,6 +61,14 @@ pub struct HarnessConfig {
     pub shuffled_chains: bool,
     /// Deterministic variant seed for circuit synthesis and lock drawing.
     pub variant: u64,
+    /// Worker-thread request for the word-parallel simulation substrate
+    /// (`None` = `DU_THREADS`, then hardware; see [`par::resolve`]). The
+    /// *resolved* count is recorded per row so a `BENCH_dynunlock.json`
+    /// number can always be traced back to its execution shape.
+    pub threads: Option<usize>,
+    /// Packed-simulation lane width the run is recorded under (64 for the
+    /// `u64` path, 256 for [`sim::W256`]).
+    pub lane_width: usize,
 }
 
 impl HarnessConfig {
@@ -76,6 +84,8 @@ impl HarnessConfig {
             captures: 1,
             shuffled_chains: true,
             variant: 1,
+            threads: None,
+            lane_width: 64,
         }
     }
 
@@ -97,6 +107,8 @@ impl HarnessConfig {
             captures: 1,
             shuffled_chains: true,
             variant: 1,
+            threads: None,
+            lane_width: 64,
         }
     }
 
@@ -111,6 +123,8 @@ impl HarnessConfig {
             captures: 1,
             shuffled_chains: true,
             variant: 1,
+            threads: None,
+            lane_width: 64,
         }
     }
 
@@ -139,6 +153,11 @@ pub struct AttackRow {
     pub key_width: usize,
     /// Number of key gates on the chain.
     pub key_gates: usize,
+    /// Resolved worker-thread count the run executed under (from
+    /// [`HarnessConfig::threads`] via [`par::resolve`]).
+    pub threads: usize,
+    /// Packed-simulation lane width (see [`HarnessConfig::lane_width`]).
+    pub lane_width: usize,
     /// The attack result.
     pub unlock: Unlock,
 }
@@ -181,6 +200,8 @@ pub fn attack_profile(profile: &BenchmarkProfile, cfg: &HarnessConfig) -> Attack
         gates: circuit.num_gates(),
         key_width: spec.width(),
         key_gates: spec.gates().len(),
+        threads: par::resolve(cfg.threads),
+        lane_width: cfg.lane_width,
         unlock,
     }
 }
@@ -252,6 +273,8 @@ pub fn record(rows: &[AttackRow], reporter: &mut bench::Reporter) {
         reporter.add_metric(&id, "solve_ns", r.unlock.solve_time.as_nanos() as f64);
         reporter.add_metric(&id, "key_width", r.key_width as f64);
         reporter.add_metric(&id, "key_gates", r.key_gates as f64);
+        reporter.add_metric(&id, "threads", r.threads as f64);
+        reporter.add_metric(&id, "lane_width", r.lane_width as f64);
         reporter.add_metric(&id, "rank", r.unlock.rank as f64);
         reporter.add_metric(&id, "verified", if r.unlock.verified { 1.0 } else { 0.0 });
     }
@@ -281,9 +304,24 @@ mod tests {
             "dynunlock/b20",
             "dip_iterations",
             "solve_ns",
+            "\"threads\":",
+            "\"lane_width\": 64",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn rows_record_an_explicit_thread_request_verbatim() {
+        let mut cfg = HarnessConfig::tiny();
+        cfg.threads = Some(3);
+        let row = attack_profile(by_name("s5378").unwrap(), &cfg);
+        assert_eq!(row.threads, 3);
+        assert_eq!(row.lane_width, 64);
+        // Unrequested: resolved from DU_THREADS / hardware, never zero.
+        cfg.threads = None;
+        let row = attack_profile(by_name("s5378").unwrap(), &cfg);
+        assert!(row.threads >= 1);
     }
 
     #[test]

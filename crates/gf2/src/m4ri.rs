@@ -15,6 +15,21 @@
 //! *reduced* row echelon form (RREF) in place and return the pivot
 //! columns, so they are drop-in interchangeable; differential tests and
 //! the `wordpar` bench exercise exactly that interchangeability.
+//!
+//! **Panel-parallel cleanup.** The expensive part of each pivot block —
+//! step 3, one table-lookup XOR against every non-pivot row — is
+//! embarrassingly parallel across rows: the Gray-code table is built
+//! once per block and read-only afterwards, so [`rref_with_opts`] fans
+//! the row panel across worker threads (`par::for_each_chunk_mut`). The
+//! pivot search itself stays sequential (each scanned row depends on the
+//! block pivots found so far). The default entry points ([`rref`],
+//! [`rref_with_block`], and through them `BitMatrix::rank` /
+//! `nullspace` / `solve_system`) engage threads automatically for
+//! systems large enough to amortize the per-block spawn cost, honoring
+//! the `DU_THREADS` policy; [`rref_parallel`] pins an explicit count.
+//! Every thread count produces bit-identical RREF — the `wordpar_mt`
+//! bench measures the speedup and the differential tests pin the
+//! equivalence.
 
 use crate::BitVec;
 
@@ -27,12 +42,23 @@ pub const DEFAULT_BLOCK: usize = 8;
 /// Largest accepted block width (table memory doubles per step).
 const MAX_BLOCK: usize = 16;
 
+/// Row-count × row-word-count product above which the default entry
+/// points fan block cleanup across threads. Below it, the per-block
+/// scoped-spawn cost (tens of microseconds per pivot block) outweighs
+/// the cleanup work; explicit [`rref_parallel`] / [`rref_with_opts`]
+/// callers bypass this heuristic.
+const PAR_MIN_WORK_WORDS: usize = 1 << 16;
+
 /// Reduces `rows` to reduced row echelon form in place using M4RI with the
 /// default block size and returns the pivot columns.
 ///
 /// After the call, row `i` (for `i < pivots.len()`) is the unique row with
 /// a leading 1 in column `pivots[i]`, `pivots` is strictly increasing, and
 /// every row from `pivots.len()` on is zero.
+///
+/// Large systems automatically fan block cleanup across worker threads
+/// (`DU_THREADS` / available parallelism); the result is bit-identical
+/// at every thread count.
 ///
 /// # Panics
 ///
@@ -43,6 +69,51 @@ pub fn rref(rows: &mut [BitVec]) -> Vec<usize> {
 
 /// [`rref`] with an explicit column-block width `k` (clamped to `1..=16`).
 pub fn rref_with_block(rows: &mut [BitVec], k: usize) -> Vec<usize> {
+    rref_with_opts(rows, k, default_threads(rows))
+}
+
+/// [`rref`] with an explicit worker-thread count (and the default block
+/// size). `threads` is honored literally — no size heuristic — so a
+/// caller that knows its panels are wide can force the fan-out, and the
+/// differential tests can exercise the chunked cleanup on small systems.
+pub fn rref_parallel(rows: &mut [BitVec], threads: usize) -> Vec<usize> {
+    rref_with_opts(rows, DEFAULT_BLOCK, threads)
+}
+
+/// Thread count for the default entry points: parallel only when the
+/// panel is large enough to amortize per-block spawns.
+fn default_threads(rows: &[BitVec]) -> usize {
+    let words = rows.first().map_or(0, |r| r.as_words().len());
+    if rows.len() * words >= PAR_MIN_WORK_WORDS {
+        par::resolve(None)
+    } else {
+        1
+    }
+}
+
+/// Clears one pivot block's columns from a non-pivot row with a single
+/// Gray-code table lookup XOR (M4RI step 3, the hot inner body shared by
+/// the serial and panel-parallel cleanup paths).
+fn clear_block_from_row(row: &mut BitVec, block_cols: &[usize], table: &[u64], words: usize) {
+    let mut idx = 0usize;
+    for (bi, &bcol) in block_cols.iter().enumerate() {
+        idx |= usize::from(row.get(bcol)) << bi;
+    }
+    if idx != 0 {
+        let entry = &table[idx * words..(idx + 1) * words];
+        for (w, e) in row.as_words_mut().iter_mut().zip(entry) {
+            *w ^= e;
+        }
+    }
+}
+
+/// [`rref`] with explicit column-block width `k` (clamped to `1..=16`)
+/// and worker-thread count for the block-cleanup panel.
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths.
+pub fn rref_with_opts(rows: &mut [BitVec], k: usize, threads: usize) -> Vec<usize> {
     let n = rows.len();
     let cols = rows.first().map_or(0, BitVec::len);
     assert!(
@@ -111,20 +182,28 @@ pub fn rref_with_block(rows: &mut [BitVec], k: usize) -> Vec<usize> {
 
         // Step 3: clear the block's pivot columns from every non-pivot row
         // (rows above for the Jordan part, rows below for the forward
-        // part) with one table XOR each.
-        for (ri, row) in rows.iter_mut().enumerate() {
-            if ri >= r && ri < r + p {
-                continue;
-            }
-            let mut idx = 0usize;
-            for (bi, &bcol) in block_cols.iter().enumerate() {
-                idx |= usize::from(row.get(bcol)) << bi;
-            }
-            if idx != 0 {
-                let entry = &table[idx * words..(idx + 1) * words];
-                for (w, e) in row.as_words_mut().iter_mut().zip(entry) {
-                    *w ^= e;
+        // part) with one table XOR each. The table and pivot columns are
+        // read-only here, so the row panel fans across worker threads;
+        // each row is touched by exactly one thread, so the result is
+        // bit-identical to the serial sweep.
+        if threads > 1 {
+            let table_ref: &[u64] = &table;
+            let cols_ref: &[usize] = &block_cols;
+            par::for_each_chunk_mut(rows, threads, |offset, chunk| {
+                for (i, row) in chunk.iter_mut().enumerate() {
+                    let ri = offset + i;
+                    if ri >= r && ri < r + p {
+                        continue;
+                    }
+                    clear_block_from_row(row, cols_ref, table_ref, words);
                 }
+            });
+        } else {
+            for (ri, row) in rows.iter_mut().enumerate() {
+                if ri >= r && ri < r + p {
+                    continue;
+                }
+                clear_block_from_row(row, &block_cols, &table, words);
             }
         }
 
@@ -241,6 +320,31 @@ mod tests {
             let pm = rref_with_block(&mut m, k);
             assert_eq!(pm, pg, "pivots differ at k={k}");
             assert_eq!(m, reference, "RREF differs at k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_cleanup_is_bit_identical_across_thread_counts() {
+        for seed in 0..6 {
+            let mut rng = Xoshiro256::new(4000 + seed);
+            let n = 10 + rng.gen_index(80);
+            let cols = 10 + rng.gen_index(120);
+            let a = random_rows(n, cols, 31 * seed + 7);
+            let mut reference = a.clone();
+            let pg = rref_gaussian(&mut reference);
+            for threads in [1, 2, 3, 8] {
+                let mut work = a.clone();
+                let pm = rref_parallel(&mut work, threads);
+                assert_eq!(pm, pg, "pivots differ (seed {seed}, threads {threads})");
+                assert_eq!(
+                    work, reference,
+                    "RREF differs (seed {seed}, threads {threads})"
+                );
+            }
+            // explicit block width + threads compose
+            let mut work = a.clone();
+            assert_eq!(rref_with_opts(&mut work, 4, 4), pg, "seed {seed}");
+            assert_eq!(work, reference, "seed {seed}");
         }
     }
 

@@ -14,7 +14,11 @@
 //!   single cache-friendly slice walk.
 //!
 //! The schedule is stored inside [`Circuit`] and shared by the scalar and
-//! word-parallel evaluators in the `sim` crate (DESIGN.md §5).
+//! word-parallel evaluators in the `sim` crate (DESIGN.md §5). It is
+//! strictly read-only after construction — `sim`'s multi-core fan-out
+//! hands one `&EvalSchedule` to every worker thread, so `EvalSchedule`
+//! (and `Circuit` around it) must stay `Send + Sync` with no interior
+//! mutability; a test below pins that contract.
 
 use crate::{Circuit, GateKind};
 
@@ -207,5 +211,16 @@ mod tests {
     fn level_zero_has_no_ops() {
         let c = diamond();
         let _ = c.schedule().level_ops(0);
+    }
+
+    #[test]
+    fn schedule_and_circuit_are_shareable_across_threads() {
+        // The multi-core evaluators hand `&Circuit` / `&EvalSchedule` to
+        // scoped worker threads; adding interior mutability (Cell, Rc,
+        // lazy caches) to either type would break this at a distance.
+        fn shareable<T: Send + Sync>() {}
+        shareable::<EvalSchedule>();
+        shareable::<Circuit>();
+        shareable::<ScheduledOp>();
     }
 }

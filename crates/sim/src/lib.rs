@@ -7,18 +7,23 @@
 //! reconstructed responses against the honest [`ScanChip`].
 //!
 //! * [`Evaluator`] — reusable levelized evaluation of the combinational core;
-//! * [`PackedEvaluator`] — the 64-lane word-parallel counterpart: one
-//!   `u64` per net evaluates 64 independent patterns per sweep;
+//! * [`WidePackedEvaluator`] — the lane-word-parallel counterpart,
+//!   generic over [`LaneWord`]: [`PackedEvaluator`] packs 64 patterns
+//!   per `u64`, [`PackedEvaluator256`] packs 256 per [`W256`] block;
+//! * [`ParPackedEvaluator`] / [`ParPackedScanChip`] — multi-core
+//!   fan-out: lane blocks evaluated across worker threads against the
+//!   shared read-only schedule (`DU_THREADS` / explicit knob);
 //! * [`SeqSim`] / [`PackedSeqSim`] — clock-by-clock functional simulation,
 //!   scalar and 64 lanes at once;
 //! * [`ScanChain`] — the order in which flops are stitched into the chain;
-//! * [`ScanChip`] / [`PackedScanChip`] — load / capture / unload test
-//!   access, no obfuscation, scalar and 64-lane;
+//! * [`ScanChip`] / [`WidePackedScanChip`] — load / capture / unload test
+//!   access, no obfuscation, scalar and lane-parallel;
 //! * [`ScanAccess`] — the oracle interface shared by unlocked and locked
 //!   chips (the attack only ever talks to this trait).
 //!
-//! The scalar paths are the differential-test references for the packed
-//! ones; see DESIGN.md §5 for the data layout.
+//! The scalar paths are the differential-test references for every
+//! packed width and thread count; see DESIGN.md §5 for the data layout
+//! and the thread/lane execution model.
 //!
 //! # Example
 //!
@@ -38,13 +43,23 @@
 #![warn(missing_docs)]
 
 mod comb;
+mod lane;
 mod oracle;
 mod packed;
+mod parallel;
 mod scan;
 mod seq;
 
 pub use comb::Evaluator;
+pub use lane::{LaneWord, W256};
 pub use oracle::{check_session_freshness, FreshnessViolation, ScanAccess, ScanResponse};
-pub use packed::{pack_lanes, unpack_lane, PackedEvaluator};
-pub use scan::{PackedScanChip, PackedScanResponse, ScanChain, ScanChip};
+pub use packed::{
+    pack_lanes, pack_lanes_wide, try_pack_lanes, try_pack_lanes_wide, unpack_lane,
+    unpack_lane_wide, PackError, PackedEvaluator, PackedEvaluator256, WidePackedEvaluator,
+};
+pub use parallel::{PackedFrame, ParPackedEvaluator, ParPackedScanChip};
+pub use scan::{
+    PackedScanChip, PackedScanChip256, PackedScanResponse, ScanChain, ScanChip, WidePackedScanChip,
+    WidePackedScanResponse,
+};
 pub use seq::{PackedSeqSim, SeqSim};

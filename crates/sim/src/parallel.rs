@@ -1,0 +1,396 @@
+//! Multi-core fan-out for the packed simulation paths.
+//!
+//! One [`EvalSchedule`](netlist::EvalSchedule) is computed per circuit
+//! and is strictly read-only during evaluation, so N-pattern workloads
+//! split cleanly: pack the patterns into `W::LANES`-wide lane blocks and
+//! evaluate the blocks on worker threads, each with its own private
+//! value array. [`ParPackedEvaluator`] does that for combinational
+//! sweeps and [`ParPackedScanChip`] for whole load/capture/unload scan
+//! sessions.
+//!
+//! Thread counts follow the workspace policy (`par::resolve`): an
+//! explicit [`with_threads`](ParPackedEvaluator::with_threads) knob
+//! beats the `DU_THREADS` environment variable beats the machine's
+//! available parallelism. Workloads of at most one lane block (N ≤
+//! `W::LANES` patterns) and `threads = 1` configurations run serially on
+//! the calling thread — the parallel path is never entered for work
+//! that cannot use it.
+
+use netlist::Circuit;
+
+use crate::lane::LaneWord;
+use crate::packed::{pack_lanes_wide, unpack_lane_wide, WidePackedEvaluator};
+use crate::scan::{ScanChain, WidePackedScanChip, WidePackedScanResponse};
+use crate::ScanResponse;
+
+/// The packed result of evaluating one lane block: primary outputs and
+/// next state, one `W` word per net position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedFrame<W> {
+    /// Packed primary-output words.
+    pub po: Vec<W>,
+    /// Packed next-state (flop D) words.
+    pub next_state: Vec<W>,
+}
+
+/// Multi-core combinational evaluation over lane blocks.
+///
+/// The evaluator itself holds no mutable state — each worker thread
+/// builds a private [`WidePackedEvaluator`] over the shared circuit and
+/// its read-only schedule, so `eval_blocks` takes `&self` and blocks
+/// fan out without synchronization.
+///
+/// # Example
+///
+/// ```
+/// use netlist::generator::s208_like;
+/// use sim::ParPackedEvaluator;
+///
+/// let c = s208_like();
+/// let ev: ParPackedEvaluator = ParPackedEvaluator::new(&c).with_threads(2);
+/// let stimuli: Vec<(Vec<bool>, Vec<bool>)> = (0..100)
+///     .map(|i| (vec![i % 2 == 0; 10], vec![i % 3 == 0; 8]))
+///     .collect();
+/// let frames = ev.eval_patterns(&stimuli);
+/// assert_eq!(frames.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParPackedEvaluator<'c, W: LaneWord = u64> {
+    circuit: &'c Circuit,
+    threads: usize,
+    _lane: std::marker::PhantomData<W>,
+}
+
+impl<'c, W: LaneWord> ParPackedEvaluator<'c, W> {
+    /// Creates an evaluator with the default thread count
+    /// (`DU_THREADS` or the machine's available parallelism).
+    pub fn new(circuit: &'c Circuit) -> Self {
+        ParPackedEvaluator {
+            circuit,
+            threads: par::resolve(None),
+            _lane: std::marker::PhantomData,
+        }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Lanes per block (`W::LANES`).
+    pub fn lane_width(&self) -> usize {
+        W::LANES
+    }
+
+    /// The circuit being evaluated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Evaluates packed lane blocks — `blocks[i]` is `(pis, state)` in
+    /// the [`WidePackedEvaluator::eval`] layout — across the configured
+    /// threads, returning one [`PackedFrame`] per block in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block's `pis` or `state` have the wrong length.
+    pub fn eval_blocks(&self, blocks: &[(Vec<W>, Vec<W>)]) -> Vec<PackedFrame<W>> {
+        let circuit = self.circuit;
+        par::map_chunks(blocks, self.threads, move |_, chunk| {
+            let mut ev = WidePackedEvaluator::<W>::new(circuit);
+            chunk
+                .iter()
+                .map(|(pis, state)| {
+                    ev.eval(pis, state);
+                    PackedFrame {
+                        po: ev.output_values(),
+                        next_state: ev.next_state(),
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Evaluates N scalar stimuli — `stimuli[i]` is `(pi bits, state
+    /// bits)` — by packing them into `W::LANES`-wide blocks, fanning the
+    /// blocks across threads, and unpacking per-stimulus `(po bits,
+    /// next-state bits)` results in input order.
+    ///
+    /// With `N <= W::LANES` (a single block) the evaluation runs
+    /// serially on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if stimulus vector lengths do not match the circuit.
+    pub fn eval_patterns(&self, stimuli: &[(Vec<bool>, Vec<bool>)]) -> Vec<(Vec<bool>, Vec<bool>)> {
+        let blocks: Vec<(Vec<W>, Vec<W>)> = stimuli
+            .chunks(W::LANES)
+            .map(|group| {
+                let pis: Vec<Vec<bool>> = group.iter().map(|(p, _)| p.clone()).collect();
+                let states: Vec<Vec<bool>> = group.iter().map(|(_, s)| s.clone()).collect();
+                (pack_lanes_wide(&pis), pack_lanes_wide(&states))
+            })
+            .collect();
+        // An all-flop no-PI (or vice versa) circuit packs one side to an
+        // empty word vector; re-zero-fill so eval sees the right lengths.
+        let blocks: Vec<(Vec<W>, Vec<W>)> = blocks
+            .into_iter()
+            .map(|(mut pis, mut state)| {
+                pis.resize(self.circuit.inputs().len(), W::zeros());
+                state.resize(self.circuit.num_dffs(), W::zeros());
+                (pis, state)
+            })
+            .collect();
+        let frames = self.eval_blocks(&blocks);
+        stimuli
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let frame = &frames[i / W::LANES];
+                let lane = i % W::LANES;
+                (
+                    unpack_lane_wide(&frame.po, lane),
+                    unpack_lane_wide(&frame.next_state, lane),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Multi-core scan-session fan-out: batches of independent
+/// load/capture/unload sessions packed `W::LANES` per block and answered
+/// across threads.
+///
+/// Scan sessions are stateless (each starts from its loaded pattern), so
+/// a batch splits perfectly; each worker owns a private
+/// [`WidePackedScanChip`] over the shared circuit and chain.
+#[derive(Debug, Clone)]
+pub struct ParPackedScanChip<'c, W: LaneWord = u64> {
+    circuit: &'c Circuit,
+    chain: ScanChain,
+    threads: usize,
+    _lane: std::marker::PhantomData<W>,
+}
+
+impl<'c, W: LaneWord> ParPackedScanChip<'c, W> {
+    /// Creates a batched chip with the given chain and the default
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain length differs from the circuit's flop count.
+    pub fn new(circuit: &'c Circuit, chain: ScanChain) -> Self {
+        assert_eq!(
+            chain.len(),
+            circuit.num_dffs(),
+            "chain must cover all flops"
+        );
+        ParPackedScanChip {
+            circuit,
+            chain,
+            threads: par::resolve(None),
+            _lane: std::marker::PhantomData,
+        }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Lanes per block (`W::LANES`).
+    pub fn lane_width(&self) -> usize {
+        W::LANES
+    }
+
+    /// Answers packed session blocks — `sessions[i]` is `(pattern
+    /// words, pi words)` — with `captures` capture cycles each, fanned
+    /// across the configured threads, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `captures == 0` or vector lengths are wrong.
+    pub fn query_blocks(
+        &self,
+        sessions: &[(Vec<W>, Vec<W>)],
+        captures: usize,
+    ) -> Vec<WidePackedScanResponse<W>> {
+        assert!(captures >= 1, "at least one capture cycle");
+        let circuit = self.circuit;
+        let chain = &self.chain;
+        par::map_chunks(sessions, self.threads, move |_, chunk| {
+            let mut chip = WidePackedScanChip::<W>::new(circuit, chain.clone());
+            chunk
+                .iter()
+                .map(|(pattern, pis)| chip.query_captures(pattern, pis, captures))
+                .collect()
+        })
+    }
+
+    /// Answers N scalar sessions — `sessions[i]` is `(pattern bits, pi
+    /// bits)` — by packing them `W::LANES` per block, fanning blocks
+    /// across threads, and unpacking per-session [`ScanResponse`]s in
+    /// input order. Single-block batches (N ≤ `W::LANES`) run serially.
+    ///
+    /// The scalar [`ScanChip`] answers the same sessions bit-for-bit;
+    /// the differential tests pin that equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `captures == 0` or vector lengths are wrong.
+    pub fn query_patterns(
+        &self,
+        sessions: &[(Vec<bool>, Vec<bool>)],
+        captures: usize,
+    ) -> Vec<ScanResponse> {
+        let blocks: Vec<(Vec<W>, Vec<W>)> = sessions
+            .chunks(W::LANES)
+            .map(|group| {
+                let patterns: Vec<Vec<bool>> = group.iter().map(|(p, _)| p.clone()).collect();
+                let pis: Vec<Vec<bool>> = group.iter().map(|(_, q)| q.clone()).collect();
+                let mut packed_patterns: Vec<W> = pack_lanes_wide(&patterns);
+                let mut packed_pis: Vec<W> = pack_lanes_wide(&pis);
+                packed_patterns.resize(self.circuit.num_dffs(), W::zeros());
+                packed_pis.resize(self.circuit.inputs().len(), W::zeros());
+                (packed_patterns, packed_pis)
+            })
+            .collect();
+        let responses = self.query_blocks(&blocks, captures);
+        sessions
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let resp = &responses[i / W::LANES];
+                let lane = i % W::LANES;
+                ScanResponse {
+                    scan_out: unpack_lane_wide(&resp.scan_out, lane),
+                    po: unpack_lane_wide(&resp.po, lane),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::W256;
+    use crate::{Evaluator, ScanAccess, ScanChip};
+    use gf2::{Rng64, SplitMix64};
+    use netlist::generator::GeneratorConfig;
+
+    fn random_stimuli(c: &Circuit, n: usize, rng: &mut SplitMix64) -> Vec<(Vec<bool>, Vec<bool>)> {
+        (0..n)
+            .map(|_| {
+                (
+                    (0..c.inputs().len())
+                        .map(|_| rng.next_u64() & 1 == 1)
+                        .collect(),
+                    (0..c.num_dffs()).map(|_| rng.next_u64() & 1 == 1).collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn scalar_frames(
+        c: &Circuit,
+        stimuli: &[(Vec<bool>, Vec<bool>)],
+    ) -> Vec<(Vec<bool>, Vec<bool>)> {
+        let mut ev = Evaluator::new(c);
+        stimuli
+            .iter()
+            .map(|(pis, state)| {
+                ev.eval(pis, state);
+                (ev.output_values(), ev.next_state())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_eval_matches_scalar_across_thread_counts_and_widths() {
+        let c = GeneratorConfig::new("par", 9, 5, 14, 160)
+            .with_seed(7)
+            .generate();
+        let mut rng = SplitMix64::new(99);
+        // 150 patterns: ragged final block for both 64- and 256-lane words
+        let stimuli = random_stimuli(&c, 150, &mut rng);
+        let expect = scalar_frames(&c, &stimuli);
+        for threads in [1, 2, 5] {
+            let ev64: ParPackedEvaluator = ParPackedEvaluator::new(&c).with_threads(threads);
+            assert_eq!(ev64.eval_patterns(&stimuli), expect, "u64 t={threads}");
+            let ev256: ParPackedEvaluator<W256> = ParPackedEvaluator::new(&c).with_threads(threads);
+            assert_eq!(ev256.eval_patterns(&stimuli), expect, "W256 t={threads}");
+        }
+    }
+
+    #[test]
+    fn single_block_batches_take_the_serial_path() {
+        let c = GeneratorConfig::new("small", 4, 3, 6, 40)
+            .with_seed(3)
+            .generate();
+        let mut rng = SplitMix64::new(1);
+        let stimuli = random_stimuli(&c, 10, &mut rng); // << one block
+        let ev: ParPackedEvaluator = ParPackedEvaluator::new(&c).with_threads(8);
+        assert_eq!(ev.eval_patterns(&stimuli), scalar_frames(&c, &stimuli));
+        assert_eq!(ev.threads(), 8);
+        assert_eq!(ev.lane_width(), 64);
+    }
+
+    #[test]
+    fn par_scan_chip_matches_scalar_chip() {
+        let c = GeneratorConfig::new("parscan", 6, 4, 9, 90)
+            .with_seed(21)
+            .generate();
+        let mut rng = SplitMix64::new(5);
+        let chain = ScanChain::shuffled(c.num_dffs(), &mut rng);
+        let sessions: Vec<(Vec<bool>, Vec<bool>)> = (0..70)
+            .map(|_| {
+                (
+                    (0..c.num_dffs()).map(|_| rng.next_u64() & 1 == 1).collect(),
+                    (0..c.inputs().len())
+                        .map(|_| rng.next_u64() & 1 == 1)
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut scalar = ScanChip::new(&c, chain.clone());
+        for captures in [1, 2] {
+            let expect: Vec<ScanResponse> = sessions
+                .iter()
+                .map(|(pattern, pis)| scalar.query_captures(pattern, pis, captures))
+                .collect();
+            for threads in [1, 3] {
+                let par_chip: ParPackedScanChip =
+                    ParPackedScanChip::new(&c, chain.clone()).with_threads(threads);
+                assert_eq!(
+                    par_chip.query_patterns(&sessions, captures),
+                    expect,
+                    "captures {captures}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chain must cover all flops")]
+    fn wrong_chain_length_panics() {
+        let c = GeneratorConfig::new("bad", 3, 2, 5, 30)
+            .with_seed(2)
+            .generate();
+        let _: ParPackedScanChip = ParPackedScanChip::new(&c, ScanChain::natural(3));
+    }
+}

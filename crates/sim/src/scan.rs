@@ -1,9 +1,12 @@
 //! Scan-chain structure and unobfuscated scan test access — scalar and
-//! 64-lane word-parallel.
+//! lane-word-parallel (64 lanes as `u64`, 256 lanes as `W256`, or any
+//! [`LaneWord`]).
 
 use netlist::Circuit;
 
-use crate::{Evaluator, PackedEvaluator, ScanAccess, ScanResponse};
+use crate::lane::{LaneWord, W256};
+use crate::packed::WidePackedEvaluator;
+use crate::{Evaluator, ScanAccess, ScanResponse};
 
 /// The order in which flops are stitched into a single scan chain.
 ///
@@ -79,14 +82,14 @@ impl ScanChain {
         self.gather(state)
     }
 
-    /// Packed variant of [`ScanChain::pattern_to_state`]: each `u64` holds
-    /// 64 lanes of one chain position.
-    pub fn pattern_to_state_packed(&self, pattern: &[u64]) -> Vec<u64> {
+    /// Packed variant of [`ScanChain::pattern_to_state`]: each lane word
+    /// holds `W::LANES` lanes of one chain position.
+    pub fn pattern_to_state_packed<W: Copy + Default>(&self, pattern: &[W]) -> Vec<W> {
         self.scatter(pattern)
     }
 
     /// Packed variant of [`ScanChain::state_to_pattern`].
-    pub fn state_to_pattern_packed(&self, state: &[u64]) -> Vec<u64> {
+    pub fn state_to_pattern_packed<W: Copy>(&self, state: &[W]) -> Vec<W> {
         self.gather(state)
     }
 
@@ -183,20 +186,25 @@ impl<'c> ScanChip<'c> {
     }
 }
 
-/// What comes back from one packed scan session: 64 lanes per word.
+/// What comes back from one packed scan session: `W::LANES` lanes per
+/// word.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PackedScanResponse {
+pub struct WidePackedScanResponse<W> {
     /// Packed values shifted out of the chain, indexed by chain position.
-    pub scan_out: Vec<u64>,
+    pub scan_out: Vec<W>,
     /// Packed primary-output words observed during the (last) capture.
-    pub po: Vec<u64>,
+    pub po: Vec<W>,
 }
 
-/// The 64-lane counterpart of [`ScanChip`]: one load / capture / unload
-/// session answers 64 independent scan queries at once. This is the
-/// throughput path for attack phases that sweep many patterns (signature
-/// collection, hypothesis filtering); the scalar [`ScanChip`] remains the
-/// differential-test reference.
+/// The 64-lane packed scan response (`u64` words).
+pub type PackedScanResponse = WidePackedScanResponse<u64>;
+
+/// The lane-parallel counterpart of [`ScanChip`]: one load / capture /
+/// unload session answers `W::LANES` independent scan queries at once.
+/// This is the throughput path for attack phases that sweep many patterns
+/// (signature collection, hypothesis filtering); the scalar [`ScanChip`]
+/// remains the differential-test reference, and `sim::par` fans batches
+/// of these blocks across threads.
 ///
 /// # Example
 ///
@@ -213,13 +221,19 @@ pub struct PackedScanResponse {
 /// assert_eq!(resp.scan_out.len(), 8);
 /// ```
 #[derive(Debug, Clone)]
-pub struct PackedScanChip<'c> {
-    evaluator: PackedEvaluator<'c>,
+pub struct WidePackedScanChip<'c, W: LaneWord = u64> {
+    evaluator: WidePackedEvaluator<'c, W>,
     chain: ScanChain,
-    state: Vec<u64>,
+    state: Vec<W>,
 }
 
-impl<'c> PackedScanChip<'c> {
+/// The 64-lane (`u64`) packed scan chip.
+pub type PackedScanChip<'c> = WidePackedScanChip<'c, u64>;
+
+/// The 256-lane ([`W256`]) packed scan chip.
+pub type PackedScanChip256<'c> = WidePackedScanChip<'c, W256>;
+
+impl<'c, W: LaneWord> WidePackedScanChip<'c, W> {
     /// Creates a packed chip with the given chain; flops reset to zero in
     /// every lane.
     ///
@@ -232,10 +246,10 @@ impl<'c> PackedScanChip<'c> {
             circuit.num_dffs(),
             "chain must cover all flops"
         );
-        PackedScanChip {
-            evaluator: PackedEvaluator::new(circuit),
+        WidePackedScanChip {
+            evaluator: WidePackedEvaluator::new(circuit),
             chain,
-            state: vec![0; circuit.num_dffs()],
+            state: vec![W::zeros(); circuit.num_dffs()],
         }
     }
 
@@ -249,15 +263,15 @@ impl<'c> PackedScanChip<'c> {
         &self.chain
     }
 
-    /// Shift-in of 64 patterns at once: `pattern[pos]` packs the bit each
-    /// lane loads into the cell at chain position `pos`.
-    pub fn load(&mut self, pattern: &[u64]) {
+    /// Shift-in of `W::LANES` patterns at once: `pattern[pos]` packs the
+    /// bit each lane loads into the cell at chain position `pos`.
+    pub fn load(&mut self, pattern: &[W]) {
         self.state = self.chain.pattern_to_state_packed(pattern);
     }
 
     /// One capture cycle across all lanes; returns the packed primary
     /// outputs observed during the capture.
-    pub fn capture(&mut self, pis: &[u64]) -> Vec<u64> {
+    pub fn capture(&mut self, pis: &[W]) -> Vec<W> {
         self.evaluator.eval(pis, &self.state);
         let po = self.evaluator.output_values();
         self.state = self.evaluator.next_state();
@@ -265,35 +279,36 @@ impl<'c> PackedScanChip<'c> {
     }
 
     /// Shift-out: packed captured values indexed by chain position.
-    pub fn unload(&self) -> Vec<u64> {
+    pub fn unload(&self) -> Vec<W> {
         self.chain.state_to_pattern_packed(&self.state)
     }
 
-    /// A full session with `captures` capture cycles, 64 lanes at once.
+    /// A full session with `captures` capture cycles, `W::LANES` lanes
+    /// at once.
     ///
     /// # Panics
     ///
     /// Panics if `captures == 0` or vector lengths are wrong.
     pub fn query_captures(
         &mut self,
-        pattern: &[u64],
-        pis: &[u64],
+        pattern: &[W],
+        pis: &[W],
         captures: usize,
-    ) -> PackedScanResponse {
+    ) -> WidePackedScanResponse<W> {
         assert!(captures >= 1, "at least one capture cycle");
         self.load(pattern);
         let mut po = Vec::new();
         for _ in 0..captures {
             po = self.capture(pis);
         }
-        PackedScanResponse {
+        WidePackedScanResponse {
             scan_out: self.unload(),
             po,
         }
     }
 
-    /// A standard single-capture session, 64 lanes at once.
-    pub fn query(&mut self, pattern: &[u64], pis: &[u64]) -> PackedScanResponse {
+    /// A standard single-capture session, `W::LANES` lanes at once.
+    pub fn query(&mut self, pattern: &[W], pis: &[W]) -> WidePackedScanResponse<W> {
         self.query_captures(pattern, pis, 1)
     }
 }
@@ -448,6 +463,41 @@ mod tests {
                 "scan_out lane {lane}"
             );
             assert_eq!(unpack_lane(&resp.po, lane), sresp.po, "po lane {lane}");
+        }
+    }
+
+    #[test]
+    fn packed_256_query_matches_scalar_chip_lane_by_lane() {
+        use crate::packed::{pack_lanes_wide, unpack_lane_wide};
+        use gf2::{Rng64, SplitMix64};
+
+        let c = GeneratorConfig::new("pk256", 5, 3, 8, 60)
+            .with_seed(9)
+            .generate();
+        let mut rng = SplitMix64::new(31);
+        let chain = ScanChain::shuffled(8, &mut rng);
+
+        let patterns: Vec<Vec<bool>> = (0..256)
+            .map(|_| (0..8).map(|_| rng.next_u64() & 1 == 1).collect())
+            .collect();
+        let pis: Vec<Vec<bool>> = (0..256)
+            .map(|_| (0..5).map(|_| rng.next_u64() & 1 == 1).collect())
+            .collect();
+        let packed_pattern: Vec<W256> = pack_lanes_wide(&patterns);
+        let packed_pis: Vec<W256> = pack_lanes_wide(&pis);
+
+        let mut packed = PackedScanChip256::new(&c, chain.clone());
+        let resp = packed.query_captures(&packed_pattern, &packed_pis, 2);
+
+        let mut scalar = ScanChip::new(&c, chain);
+        for lane in (0..256).step_by(17) {
+            let sresp = scalar.query_captures(&patterns[lane], &pis[lane], 2);
+            assert_eq!(
+                unpack_lane_wide(&resp.scan_out, lane),
+                sresp.scan_out,
+                "scan_out lane {lane}"
+            );
+            assert_eq!(unpack_lane_wide(&resp.po, lane), sresp.po, "po lane {lane}");
         }
     }
 

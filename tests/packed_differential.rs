@@ -12,9 +12,12 @@
 use dynunlock_repro::gf2::{self, m4ri, BitMatrix, BitVec, LinSolver, Rng64, Xoshiro256};
 use dynunlock_repro::netlist::generator::GeneratorConfig;
 use dynunlock_repro::netlist::profiles::PAPER_BENCHMARKS;
+use dynunlock_repro::par;
 use dynunlock_repro::sim::{
-    pack_lanes, unpack_lane, Evaluator, PackedEvaluator, PackedScanChip, ScanAccess, ScanChain,
-    ScanChip,
+    pack_lanes, pack_lanes_wide, try_pack_lanes, try_pack_lanes_wide, unpack_lane,
+    unpack_lane_wide, Evaluator, LaneWord, PackError, PackedEvaluator, PackedScanChip,
+    ParPackedEvaluator, ParPackedScanChip, ScanAccess, ScanChain, ScanChip, WidePackedEvaluator,
+    W256,
 };
 
 /// Random generator profiles spanning interface shapes: (pis, pos, dffs,
@@ -197,6 +200,202 @@ fn m4ri_solve_agrees_with_incremental_solver_on_inconsistent_systems() {
         saw_inconsistent,
         "test must exercise at least one inconsistent system"
     );
+}
+
+/// Random scalar `(pis, state)` stimuli for a circuit.
+fn random_stimuli(
+    num_inputs: usize,
+    num_dffs: usize,
+    count: usize,
+    rng: &mut Xoshiro256,
+) -> Vec<(Vec<bool>, Vec<bool>)> {
+    (0..count)
+        .map(|_| {
+            (
+                (0..num_inputs).map(|_| rng.next_u64() & 1 == 1).collect(),
+                (0..num_dffs).map(|_| rng.next_u64() & 1 == 1).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Reference answers from the scalar evaluator.
+fn scalar_answers(
+    c: &dynunlock_repro::netlist::Circuit,
+    stimuli: &[(Vec<bool>, Vec<bool>)],
+) -> Vec<(Vec<bool>, Vec<bool>)> {
+    let mut scalar = Evaluator::new(c);
+    stimuli
+        .iter()
+        .map(|(pis, state)| {
+            scalar.eval(pis, state);
+            (scalar.output_values(), scalar.next_state())
+        })
+        .collect()
+}
+
+#[test]
+fn wide_256_evaluator_matches_scalar_on_randomized_profiles() {
+    let mut rng = Xoshiro256::new(0x256D1FF);
+    for &(pis, pos, dffs, gates, seed) in &RANDOM_PROFILES[..4] {
+        let cfg =
+            GeneratorConfig::new(format!("w256-{seed}"), pis, pos, dffs, gates).with_seed(seed);
+        let c = cfg.generate();
+        // Randomized pattern count in 1..=256 each trial (proptest-style:
+        // the sizes themselves are drawn, not fixed).
+        let count = 1 + rng.gen_index(256);
+        let stimuli = random_stimuli(c.inputs().len(), c.num_dffs(), count, &mut rng);
+        let expect = scalar_answers(&c, &stimuli);
+
+        let pi_lanes: Vec<Vec<bool>> = stimuli.iter().map(|(p, _)| p.clone()).collect();
+        let st_lanes: Vec<Vec<bool>> = stimuli.iter().map(|(_, s)| s.clone()).collect();
+        let mut pi_words: Vec<W256> = pack_lanes_wide(&pi_lanes[..count.min(256)]);
+        let mut st_words: Vec<W256> = pack_lanes_wide(&st_lanes[..count.min(256)]);
+        pi_words.resize(c.inputs().len(), W256::zeros());
+        st_words.resize(c.num_dffs(), W256::zeros());
+
+        let mut wide = WidePackedEvaluator::<W256>::new(&c);
+        wide.eval(&pi_words, &st_words);
+        let po = wide.output_values();
+        let ns = wide.next_state();
+        for (lane, (epo, ens)) in expect.iter().enumerate() {
+            assert_eq!(
+                &unpack_lane_wide(&po, lane),
+                epo,
+                "PO seed {seed} lane {lane}"
+            );
+            assert_eq!(
+                &unpack_lane_wide(&ns, lane),
+                ens,
+                "NS seed {seed} lane {lane}"
+            );
+        }
+    }
+}
+
+#[test]
+fn par_evaluator_matches_scalar_at_every_width_and_thread_count() {
+    let hardware = par::resolve(None);
+    let thread_counts = [1, 2, hardware];
+    let mut rng = Xoshiro256::new(0xFA2_A11);
+    for &(pis, pos, dffs, gates, seed) in &RANDOM_PROFILES[..3] {
+        let cfg =
+            GeneratorConfig::new(format!("par-{seed}"), pis, pos, dffs, gates).with_seed(seed);
+        let c = cfg.generate();
+        // Ragged sizes on purpose: below one block, exactly one block,
+        // and a random multi-block count with a partial tail.
+        for count in [1, 64, 65 + rng.gen_index(300)] {
+            let stimuli = random_stimuli(c.inputs().len(), c.num_dffs(), count, &mut rng);
+            let expect = scalar_answers(&c, &stimuli);
+            for &threads in &thread_counts {
+                let got64 = ParPackedEvaluator::<u64>::new(&c)
+                    .with_threads(threads)
+                    .eval_patterns(&stimuli);
+                assert_eq!(got64, expect, "u64 seed {seed} count {count} t{threads}");
+                let got256 = ParPackedEvaluator::<W256>::new(&c)
+                    .with_threads(threads)
+                    .eval_patterns(&stimuli);
+                assert_eq!(got256, expect, "W256 seed {seed} count {count} t{threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn par_scan_chip_matches_scalar_chip_at_every_width_and_thread_count() {
+    let hardware = par::resolve(None);
+    let mut rng = Xoshiro256::new(0x05CA_2FA2);
+    let (pis, pos, dffs, gates, seed) = RANDOM_PROFILES[1];
+    let cfg = GeneratorConfig::new(format!("pscan-{seed}"), pis, pos, dffs, gates).with_seed(seed);
+    let c = cfg.generate();
+    let chain = ScanChain::shuffled(c.num_dffs(), &mut rng);
+    let count = 70 + rng.gen_index(160);
+    let sessions: Vec<(Vec<bool>, Vec<bool>)> = (0..count)
+        .map(|_| {
+            (
+                (0..c.num_dffs()).map(|_| rng.next_u64() & 1 == 1).collect(),
+                (0..c.inputs().len())
+                    .map(|_| rng.next_u64() & 1 == 1)
+                    .collect(),
+            )
+        })
+        .collect();
+    for captures in [1, 2] {
+        let mut scalar = ScanChip::new(&c, chain.clone());
+        let expect: Vec<_> = sessions
+            .iter()
+            .map(|(pattern, pi)| scalar.query_captures(pattern, pi, captures))
+            .collect();
+        for threads in [1, 2, hardware] {
+            let got64 = ParPackedScanChip::<u64>::new(&c, chain.clone())
+                .with_threads(threads)
+                .query_patterns(&sessions, captures);
+            assert_eq!(got64, expect, "u64 captures {captures} t{threads}");
+            let got256 = ParPackedScanChip::<W256>::new(&c, chain.clone())
+                .with_threads(threads)
+                .query_patterns(&sessions, captures);
+            assert_eq!(got256, expect, "W256 captures {captures} t{threads}");
+        }
+    }
+}
+
+#[test]
+fn pack_lanes_reports_typed_errors_for_bad_batches() {
+    // Too many patterns for the lane width.
+    let too_many: Vec<Vec<bool>> = (0..65).map(|i| vec![i % 2 == 0]).collect();
+    assert!(matches!(
+        try_pack_lanes(&too_many),
+        Err(PackError::TooManyPatterns { got: 65, lanes: 64 })
+    ));
+    // The same batch fits a 256-lane word.
+    assert!(try_pack_lanes_wide::<W256>(&too_many).is_ok());
+    let way_too_many: Vec<Vec<bool>> = (0..257).map(|_| vec![true]).collect();
+    assert!(matches!(
+        try_pack_lanes_wide::<W256>(&way_too_many),
+        Err(PackError::TooManyPatterns {
+            got: 257,
+            lanes: 256
+        })
+    ));
+    // Ragged lengths.
+    let ragged = vec![vec![true, false], vec![true]];
+    match try_pack_lanes(&ragged) {
+        Err(PackError::RaggedPattern {
+            index,
+            len,
+            expected,
+        }) => {
+            assert_eq!((index, len, expected), (1, 1, 2));
+        }
+        other => panic!("expected RaggedPattern, got {other:?}"),
+    }
+    // Errors render as actionable messages.
+    let msg = try_pack_lanes(&too_many).unwrap_err().to_string();
+    assert!(msg.contains("65"), "message names the count: {msg}");
+}
+
+#[test]
+fn rref_parallel_matches_gaussian_across_thread_counts() {
+    let mut rng = Xoshiro256::new(0x6F2_1517);
+    for trial in 0..12 {
+        let n = 2 + rng.gen_index(120);
+        let cols = 2 + rng.gen_index(160);
+        let rows: Vec<BitVec> = (0..n).map(|_| BitVec::random(cols, &mut rng)).collect();
+        let mut reference = rows.clone();
+        let pivots = m4ri::rref_gaussian(&mut reference);
+        for threads in [1, 2, 3, 8] {
+            let mut work = rows.clone();
+            assert_eq!(
+                m4ri::rref_parallel(&mut work, threads),
+                pivots,
+                "pivots: trial {trial} ({n}x{cols}) t{threads}"
+            );
+            assert_eq!(
+                work, reference,
+                "rows: trial {trial} ({n}x{cols}) t{threads}"
+            );
+        }
+    }
 }
 
 #[test]
