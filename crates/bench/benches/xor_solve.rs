@@ -15,7 +15,7 @@
 use bench::{sized, Reporter};
 use cnf::{Encoder, XorMode};
 use gf2::{BitMatrix, BitVec, Rng64, Xoshiro256};
-use satsolver::SolveResult;
+use satsolver::{DratProof, ProofStats, SolveResult};
 
 /// Key widths swept (the harness profiles live at 64 and 80).
 const WIDTHS: [usize; 7] = [8, 16, 24, 32, 48, 64, 80];
@@ -42,10 +42,16 @@ fn full_rank_rows(w: usize, rng: &mut Xoshiro256) -> Vec<BitVec> {
     }
 }
 
-/// Builds the two-copy miter and proves it UNSAT under `mode`.
-fn prove_unsat(mode: XorMode, rows: &[BitVec]) {
+/// Builds the two-copy miter and proves it UNSAT under `mode`. With
+/// `log` set, a DRAT+xor proof is streamed during the solve; returns the
+/// emitted proof's size (zero stats and bytes when logging is off).
+fn prove_unsat(mode: XorMode, rows: &[BitVec], log: bool) -> (ProofStats, usize) {
     let w = rows.len();
     let mut enc = Encoder::with_mode(mode);
+    let proof = log.then(DratProof::shared);
+    if let Some(p) = &proof {
+        enc.solver_mut().set_proof_logger(p.clone());
+    }
     let s = enc.fresh_many(w);
     let t = enc.fresh_many(w);
     let diff: Vec<_> = (0..w).map(|j| enc.xor2(s[j], t[j])).collect();
@@ -55,6 +61,10 @@ fn prove_unsat(mode: XorMode, rows: &[BitVec]) {
         enc.assert_xor(&lits, false);
     }
     assert_eq!(enc.solver_mut().solve(), SolveResult::Unsat);
+    proof.map_or((ProofStats::default(), 0), |p| {
+        let guard = p.lock().unwrap();
+        (*guard.stats(), guard.text().len())
+    })
 }
 
 fn main() {
@@ -70,14 +80,26 @@ fn main() {
 
         let id = format!("xor_solve/native_w{w}");
         rep.case(&id, w as u64, sized(5, 2), || {
-            prove_unsat(XorMode::Native, &rows)
+            prove_unsat(XorMode::Native, &rows, false);
         });
         rep.add_metric(&id, "key_width", w as f64);
+
+        // The same native proof with DRAT+xor logging streaming to an
+        // in-memory certificate: the delta against the row above is the
+        // full cost of certified solving (DESIGN.md §7).
+        let id = format!("xor_solve/native_logged_w{w}");
+        let mut proof_size = (ProofStats::default(), 0);
+        rep.case(&id, w as u64, sized(5, 2), || {
+            proof_size = prove_unsat(XorMode::Native, &rows, true);
+        });
+        rep.add_metric(&id, "key_width", w as f64);
+        rep.add_metric(&id, "proof_steps", proof_size.0.steps() as f64);
+        rep.add_metric(&id, "proof_bytes", proof_size.1 as f64);
 
         if w <= cap {
             let id = format!("xor_solve/tseitin_w{w}");
             rep.case(&id, w as u64, sized(3, 2), || {
-                prove_unsat(XorMode::Tseitin, &rows)
+                prove_unsat(XorMode::Tseitin, &rows, false);
             });
             rep.add_metric(&id, "key_width", w as f64);
         } else {

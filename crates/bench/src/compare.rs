@@ -356,9 +356,8 @@ impl BenchFile {
             Some(Json::Bool(b)) => *b,
             _ => return Err(schema_err("expected a \"smoke\" bool")),
         };
-        let raw = match doc.get("results") {
-            Some(Json::Arr(items)) => items,
-            _ => return Err(schema_err("expected a \"results\" array")),
+        let Some(Json::Arr(raw)) = doc.get("results") else {
+            return Err(schema_err("expected a \"results\" array"));
         };
         let mut results = Vec::with_capacity(raw.len());
         for item in raw {
@@ -613,7 +612,7 @@ mod tests {
         rep.add_metric("case/a", "threads", 4.0);
         rep.add_metric("case/a", "lane_width", 256.0);
         rep.case_throughput("case/tp", 128, 2, "items/sec", 100.0, || {
-            std::thread::sleep(Duration::from_millis(1))
+            std::thread::sleep(Duration::from_millis(1));
         });
         let path = rep.finish_to(&dir);
         let parsed = BenchFile::load(&path).unwrap();

@@ -230,9 +230,8 @@ impl Reporter {
     /// Panics on I/O errors — a bench that silently loses its results is
     /// worse than one that fails loudly.
     pub fn finish(self) -> PathBuf {
-        let dir = std::env::var_os("BENCH_JSON_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("."));
+        let dir =
+            std::env::var_os("BENCH_JSON_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
         self.finish_to(&dir)
     }
 
@@ -434,7 +433,7 @@ mod tests {
         // sleep long enough that the median is never zero, so the
         // throughput record is deterministic
         rep.case_throughput("case/tp", 20, 2, "items/sec", 100.0, || {
-            std::thread::sleep(Duration::from_millis(1))
+            std::thread::sleep(Duration::from_millis(1));
         });
         assert!(rep.throughput_of("case/tp").is_some());
         assert!(rep.throughput_of("case/plain").is_none());

@@ -69,6 +69,10 @@ pub struct HarnessConfig {
     /// Packed-simulation lane width the run is recorded under (64 for the
     /// `u64` path, 256 for [`sim::W256`]).
     pub lane_width: usize,
+    /// Certify each attack's convergence UNSAT with a checked DRAT+xor
+    /// proof ([`AttackConfig::certify`]); proof size and check time are
+    /// then recorded per row.
+    pub certify: bool,
 }
 
 impl HarnessConfig {
@@ -86,6 +90,7 @@ impl HarnessConfig {
             variant: 1,
             threads: None,
             lane_width: 64,
+            certify: false,
         }
     }
 
@@ -109,6 +114,7 @@ impl HarnessConfig {
             variant: 1,
             threads: None,
             lane_width: 64,
+            certify: false,
         }
     }
 
@@ -125,17 +131,21 @@ impl HarnessConfig {
             variant: 1,
             threads: None,
             lane_width: 64,
+            certify: false,
         }
     }
 
     /// [`smoke`](HarnessConfig::smoke) under `BENCH_SMOKE=1`, otherwise
-    /// [`full`](HarnessConfig::full).
+    /// [`full`](HarnessConfig::full); `DU_CERTIFY=1` switches proof
+    /// certification on for every attack in the run.
     pub fn from_env() -> Self {
-        if bench::smoke() {
+        let mut cfg = if bench::smoke() {
             HarnessConfig::smoke()
         } else {
             HarnessConfig::full()
-        }
+        };
+        cfg.certify = std::env::var("DU_CERTIFY").is_ok_and(|v| v == "1");
+        cfg
     }
 }
 
@@ -190,6 +200,7 @@ pub fn attack_profile(profile: &BenchmarkProfile, cfg: &HarnessConfig) -> Attack
 
     let attack_cfg = AttackConfig {
         captures: cfg.captures,
+        certify: cfg.certify,
         ..AttackConfig::default()
     };
     let unlock = unlock(&circuit, &chain, &spec, &mut oracle, &attack_cfg)
@@ -277,6 +288,11 @@ pub fn record(rows: &[AttackRow], reporter: &mut bench::Reporter) {
         reporter.add_metric(&id, "lane_width", r.lane_width as f64);
         reporter.add_metric(&id, "rank", r.unlock.rank as f64);
         reporter.add_metric(&id, "verified", if r.unlock.verified { 1.0 } else { 0.0 });
+        if let Some(cert) = &r.unlock.certificate {
+            reporter.add_metric(&id, "proof_steps", cert.stats.steps() as f64);
+            reporter.add_metric(&id, "proof_bytes", cert.proof.len() as f64);
+            reporter.add_metric(&id, "certify_ns", r.unlock.certify_time.as_nanos() as f64);
+        }
     }
 }
 
@@ -307,6 +323,29 @@ mod tests {
             "\"threads\":",
             "\"lane_width\": 64",
         ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn certified_rows_record_proof_metrics() {
+        let mut cfg = HarnessConfig::tiny();
+        cfg.profiles = vec!["s5378"];
+        cfg.certify = true;
+        let rows = run_profiles(&cfg);
+        let cert = rows[0]
+            .unlock
+            .certificate
+            .as_ref()
+            .expect("certified run carries a certificate");
+        assert!(cert.stats.steps() > 0);
+        let mut rep = bench::Reporter::new("dynunlock-certify-selftest");
+        record(&rows, &mut rep);
+        let dir = std::env::temp_dir().join(format!("duharness-certify-{}", std::process::id()));
+        let path = rep.finish_to(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        for needle in ["proof_steps", "proof_bytes", "certify_ns"] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -262,6 +262,7 @@ impl BitVec {
 }
 
 /// Iterator over set-bit indices; see [`BitVec::iter_ones`].
+#[derive(Debug)]
 pub struct IterOnes<'a> {
     vec: &'a BitVec,
     word_idx: usize,

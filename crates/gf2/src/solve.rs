@@ -87,7 +87,7 @@ impl LinSolution {
                 // Keep ascending leading-bit order: a reduction pass then
                 // never re-introduces a bit at an already-visited lead,
                 // because XOR with a vector only touches bits ≥ its lead.
-                echelon.sort_by_key(|e| e.first_one());
+                echelon.sort_by_key(super::bitvec::BitVec::first_one);
             }
         }
         for e in &echelon {

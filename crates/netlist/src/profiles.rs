@@ -144,7 +144,7 @@ impl BenchmarkProfile {
         // Fold the profile name into the seed so same-size profiles (b20 /
         // b21) still get distinct netlists.
         let name_hash: u64 = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
         });
         GeneratorConfig::new(
             self.name,

@@ -156,9 +156,8 @@ impl Cnf {
                 cnf.num_vars = header.expect("just set").0;
                 continue;
             }
-            let (num_vars, num_clauses) = match header {
-                Some(h) => h,
-                None => return Err(DimacsError::MissingHeader { line: lineno + 1 }),
+            let Some((num_vars, num_clauses)) = header else {
+                return Err(DimacsError::MissingHeader { line: lineno + 1 });
             };
             for tok in line.split_whitespace() {
                 let mut tok = tok;

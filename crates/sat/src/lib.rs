@@ -42,10 +42,12 @@
 mod clause;
 pub mod dimacs;
 mod heap;
+pub mod proof;
 mod solver;
 mod types;
 pub mod xor;
 
+pub use proof::{DratProof, ProofLogger, ProofStats};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};
 pub use xor::{Constraint, XorClause};

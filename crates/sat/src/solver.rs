@@ -11,8 +11,9 @@ use std::collections::HashMap;
 
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
+use crate::proof::ProofLogger;
 use crate::types::{LBool, Lit, Var};
-use crate::xor::{Constraint, XorClause, XorEngine, XorImplication};
+use crate::xor::{Constraint, ProofSink, XorClause, XorEngine, XorImplication};
 
 /// Outcome of a [`Solver::solve`] / [`Solver::solve_assuming`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +112,12 @@ pub struct Solver {
     /// A conflict clause materialized from an xor row; it exists only
     /// while conflict analysis reads it and is reclaimed right after.
     xor_conflict: Option<ClauseRef>,
+    /// Proof sink for certifying runs ([`Solver::set_proof_logger`]);
+    /// `None` (the default) makes every logging site a single branch.
+    proof: ProofSink,
+    /// Verbatim record of every added constraint, kept only when a
+    /// certifying caller enabled it ([`Solver::enable_input_mirror`]).
+    input_mirror: Option<crate::dimacs::Cnf>,
     stats: SolverStats,
 }
 
@@ -165,6 +172,71 @@ impl Solver {
     /// Work counters.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// Installs a proof logger; every inference from here on is streamed
+    /// to it (DRAT+xor, see [`crate::proof`]). Install **before** adding
+    /// constraints: add-time xor eliminations derive facts too, and a
+    /// proof that misses them will not check. Pass an
+    /// `Arc<Mutex<DratProof>>` clone to keep a readable handle.
+    pub fn set_proof_logger(&mut self, logger: impl ProofLogger + 'static) {
+        self.proof = Some(Box::new(logger));
+    }
+
+    /// Removes the proof logger, returning logging to zero-cost.
+    pub fn clear_proof_logger(&mut self) {
+        self.proof = None;
+    }
+
+    /// Starts recording every subsequently added clause and xor
+    /// constraint verbatim (pre-simplification) into an input mirror.
+    ///
+    /// Certifying callers replay the mirror in a fresh proof-logging
+    /// solver so the final answer is re-derived from the true inputs.
+    /// [`Solver::to_cnf`] is not suitable for that: it snapshots the
+    /// *processed* state, whose trail units are themselves unverified
+    /// solver derivations. Enable before adding constraints.
+    pub fn enable_input_mirror(&mut self) {
+        if self.input_mirror.is_none() {
+            self.input_mirror = Some(crate::dimacs::Cnf::new(self.num_vars()));
+        }
+    }
+
+    /// The recorded input mirror, if [`Solver::enable_input_mirror`] was
+    /// called.
+    pub fn input_mirror(&self) -> Option<&crate::dimacs::Cnf> {
+        self.input_mirror.as_ref()
+    }
+
+    /// Logs a clause addition step if a logger is installed.
+    fn log_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.add_clause(lits);
+        }
+    }
+
+    /// Logs a clause deletion step if a logger is installed.
+    fn log_delete(&mut self, cref: ClauseRef) {
+        if self.proof.is_some() {
+            let lits: Vec<Lit> = self
+                .db
+                .lits(cref)
+                .iter()
+                .map(|&raw| Lit::from_index(raw as usize))
+                .collect();
+            if let Some(p) = self.proof.as_mut() {
+                p.delete_clause(&lits);
+            }
+        }
+    }
+
+    /// Logs an xor-derived clause (a materialized reason or conflict of
+    /// row `row`) if a logger is installed.
+    fn log_xor_derived(&mut self, row: u32, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            let (origin, units) = self.xors.row_meta(row);
+            p.add_xor_derived(lits, origin, units);
+        }
     }
 
     /// Whether the clause set has been proven unsatisfiable at the top
@@ -243,6 +315,9 @@ impl Solver {
                 l.var()
             );
         }
+        if let Some(m) = self.input_mirror.as_mut() {
+            m.add_clause(lits.to_vec());
+        }
 
         // Sort by packed code: the two polarities of one variable become
         // adjacent, making duplicates and tautologies local checks.
@@ -263,12 +338,17 @@ impl Solver {
 
         match out.len() {
             0 => {
+                self.log_add(&[]);
                 self.ok = false;
                 false
             }
             1 => {
                 self.unchecked_enqueue(out[0], None);
                 if self.propagate().is_some() {
+                    // Log the refutation before reclaiming the materialized
+                    // conflict: its x-line must still be active for the
+                    // empty clause's RUP check.
+                    self.log_add(&[]);
                     self.release_xor_conflict();
                     self.ok = false;
                 }
@@ -307,13 +387,20 @@ impl Solver {
                 l.var()
             );
         }
+        if let Some(m) = self.input_mirror.as_mut() {
+            m.add_xor(lits.to_vec(), rhs);
+        }
         let (vars, rhs) = XorClause {
             lits: lits.to_vec(),
             rhs,
         }
         .normalized();
         let mut units = Vec::new();
-        if !self.xors.add(&vars, rhs, &self.assigns, &mut units) {
+        if !self
+            .xors
+            .add(&vars, rhs, &self.assigns, &mut units, &mut self.proof)
+        {
+            // The engine logged the inconsistent row as an empty x-line.
             self.ok = false;
             return false;
         }
@@ -321,6 +408,9 @@ impl Solver {
             match self.lit_value(u) {
                 LBool::True => {}
                 LBool::False => {
+                    // The derived unit (logged by the engine) contradicts
+                    // the level-0 trail: the empty clause is now RUP.
+                    self.log_add(&[]);
                     self.ok = false;
                     return false;
                 }
@@ -328,6 +418,7 @@ impl Solver {
             }
         }
         if self.propagate().is_some() {
+            self.log_add(&[]);
             self.release_xor_conflict();
             self.ok = false;
         }
@@ -382,6 +473,7 @@ impl Solver {
             return SolveResult::Unsat;
         }
         if self.propagate().is_some() {
+            self.log_add(&[]);
             self.release_xor_conflict();
             self.ok = false;
             return SolveResult::Unsat;
@@ -415,6 +507,11 @@ impl Solver {
                     curr_restarts += 1;
                     self.stats.restarts += 1;
                     self.cancel_until(0);
+                    #[cfg(debug_assertions)]
+                    {
+                        let errs = self.audit();
+                        assert!(errs.is_empty(), "solver audit failed at restart: {errs:#?}");
+                    }
                 }
             }
         }
@@ -433,11 +530,13 @@ impl Solver {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
                     // Conflict independent of any decision or assumption.
+                    self.log_add(&[]);
                     self.release_xor_conflict();
                     self.ok = false;
                     return LBool::False;
                 }
                 let (learnt, backtrack) = self.analyze(confl);
+                self.log_add(&learnt);
                 self.release_xor_conflict();
                 self.cancel_until(backtrack);
                 self.stats.learnt_clauses += 1;
@@ -710,6 +809,7 @@ impl Solver {
         self.xors
             .reason_lits(row, Some(implied.var()), &self.assigns, &mut lits);
         debug_assert!(lits.len() >= 2);
+        self.log_xor_derived(row, &lits);
         // Slot 1 carries a highest-level false literal so the watch pair
         // stays valid across backtracking (same invariant as learnts).
         let mut max_i = 1;
@@ -733,6 +833,7 @@ impl Solver {
         let mut lits = Vec::new();
         self.xors.reason_lits(row, None, &self.assigns, &mut lits);
         debug_assert!(lits.len() >= 2);
+        self.log_xor_derived(row, &lits);
         let cref = self.db.alloc(&lits, true);
         self.stats.xor_conflicts += 1;
         debug_assert!(self.xor_conflict.is_none());
@@ -745,6 +846,7 @@ impl Solver {
     /// [`Solver::propagate`].
     fn release_xor_conflict(&mut self) {
         if let Some(cref) = self.xor_conflict.take() {
+            self.log_delete(cref);
             self.db.delete(cref);
         }
     }
@@ -941,6 +1043,7 @@ impl Solver {
         for (i, &cref) in learnts.iter().enumerate() {
             let disposable = self.db.len(cref) > 2 && !self.is_locked(cref);
             if disposable && (i < half || self.db.activity(cref) < extra_lim) {
+                self.log_delete(cref);
                 self.detach_clause(cref);
                 self.db.delete(cref);
                 self.stats.deleted_clauses += 1;
@@ -954,6 +1057,182 @@ impl Solver {
         if self.db.wasted * 4 > self.db.arena_words() {
             self.compact();
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant audit
+    // ------------------------------------------------------------------
+
+    /// Full-state invariant audit: watch-list ↔ clause-DB consistency,
+    /// trail/reason sanity, xor matrix shape, and bookkeeping coherence.
+    /// Returns one human-readable string per violation (empty = healthy).
+    ///
+    /// Runs automatically at every restart under `debug_assertions`
+    /// (panicking on violations); call it from tests or after driving the
+    /// solver through an unusual sequence. Cost is O(formula), so it is
+    /// not for per-propagation use in release builds.
+    pub fn audit(&self) -> Vec<String> {
+        let mut errors: Vec<String> = Vec::new();
+        let n = self.num_vars();
+
+        // Parallel per-variable arrays agree on the variable count.
+        for (name, len) in [
+            ("phase", self.phase.len()),
+            ("reason", self.reason.len()),
+            ("level", self.level.len()),
+            ("activity", self.activity.len()),
+            ("seen", self.seen.len()),
+            ("model", self.model.len()),
+        ] {
+            if len != n {
+                errors.push(format!("{name} has {len} entries for {n} vars"));
+            }
+        }
+        if self.watches.len() != 2 * n {
+            errors.push(format!(
+                "{} watch lists for {n} vars (expected {})",
+                self.watches.len(),
+                2 * n
+            ));
+        }
+
+        // Trail: in range, consistent with `assigns`, levels match the
+        // trail_lim structure, no variable assigned twice.
+        if self.qhead > self.trail.len() {
+            errors.push(format!(
+                "qhead {} beyond trail length {}",
+                self.qhead,
+                self.trail.len()
+            ));
+        }
+        let mut prev = 0usize;
+        for (lvl, &lim) in self.trail_lim.iter().enumerate() {
+            if lim < prev || lim > self.trail.len() {
+                errors.push(format!("trail_lim[{lvl}] = {lim} out of order"));
+            }
+            prev = lim;
+        }
+        let mut on_trail = vec![false; n];
+        for (idx, &p) in self.trail.iter().enumerate() {
+            let v = p.var().index();
+            if on_trail[v] {
+                errors.push(format!("variable {} on the trail twice", p.var()));
+                continue;
+            }
+            on_trail[v] = true;
+            if self.lit_value(p) != LBool::True {
+                errors.push(format!("trail literal {p:?} not assigned true"));
+            }
+            let expect = self.trail_lim.partition_point(|&lim| lim <= idx) as u32;
+            if self.level[v] != expect {
+                errors.push(format!(
+                    "trail literal {p:?} at level {} (trail says {expect})",
+                    self.level[v]
+                ));
+            }
+        }
+        for (v, &seen) in on_trail.iter().enumerate() {
+            if (self.assigns[v] != LBool::Undef) != seen {
+                errors.push(format!(
+                    "variable {} assignment/trail mismatch",
+                    Var::from_index(v)
+                ));
+            }
+        }
+
+        // Reasons: the implied literal leads its reason clause and every
+        // other literal is false from no later a level.
+        for &p in &self.trail {
+            let v = p.var().index();
+            let Some(cref) = self.reason[v] else { continue };
+            if self.db.is_deleted(cref) {
+                errors.push(format!("reason of {p:?} is a deleted clause"));
+                continue;
+            }
+            if self.db.lit(cref, 0) != p {
+                errors.push(format!("reason of {p:?} does not start with it"));
+            }
+            for k in 1..self.db.len(cref) {
+                let q = self.db.lit(cref, k);
+                if self.lit_value(q) != LBool::False {
+                    errors.push(format!("reason of {p:?} has non-false literal {q:?}"));
+                } else if self.level[q.var().index()] > self.level[v] {
+                    errors.push(format!("reason of {p:?} uses a later-level literal {q:?}"));
+                }
+            }
+        }
+
+        // Watches ↔ clause DB: every live clause is watched on exactly its
+        // first two literals, every watch entry points at a live clause
+        // through the right list, and blockers come from their clause.
+        if self.xor_conflict.is_some() {
+            errors.push("dangling xor conflict clause outside analysis".to_string());
+        }
+        let mut watched: HashMap<ClauseRef, Vec<Lit>> = HashMap::new();
+        for (i, ws) in self.watches.iter().enumerate() {
+            // List `i` fires when `trigger` becomes true: entries watch its
+            // negation.
+            let trigger = Lit::from_index(i);
+            for w in ws {
+                if self.db.is_deleted(w.cref) {
+                    errors.push(format!("watch list of {trigger:?} holds a deleted clause"));
+                    continue;
+                }
+                let lits = self.db.lits(w.cref);
+                let watched_lit = !trigger;
+                if lits[0] != watched_lit.index() as u32 && lits[1] != watched_lit.index() as u32 {
+                    errors.push(format!(
+                        "clause watched on {watched_lit:?} which is not in its first two slots"
+                    ));
+                }
+                if !lits.contains(&(w.blocker.index() as u32)) {
+                    errors.push(format!("blocker {:?} not in its clause", w.blocker));
+                }
+                watched.entry(w.cref).or_default().push(watched_lit);
+            }
+        }
+        let mut live_learnts = 0usize;
+        for cref in self.db.iter_refs() {
+            if self.db.is_learnt(cref) {
+                live_learnts += 1;
+            }
+            let mut expect = vec![self.db.lit(cref, 0), self.db.lit(cref, 1)];
+            let mut got = watched.remove(&cref).unwrap_or_default();
+            expect.sort_unstable();
+            got.sort_unstable();
+            if expect != got {
+                errors.push(format!(
+                    "clause {:?} watched on {got:?}, expected {expect:?}",
+                    self.db.lits(cref)
+                ));
+            }
+        }
+
+        // Learnt bookkeeping: `learnts` is exactly the live learnt clauses.
+        let mut learnt_set: Vec<ClauseRef> = self.learnts.clone();
+        learnt_set.sort_unstable_by_key(|c| c.0);
+        learnt_set.dedup();
+        if learnt_set.len() != self.learnts.len() {
+            errors.push("duplicate entries in the learnt list".to_string());
+        }
+        if learnt_set.len() != live_learnts {
+            errors.push(format!(
+                "learnt list tracks {} clauses, arena holds {live_learnts}",
+                learnt_set.len()
+            ));
+        }
+        for &cref in &learnt_set {
+            if self.db.is_deleted(cref) {
+                errors.push("learnt list holds a deleted clause".to_string());
+            } else if !self.db.is_learnt(cref) {
+                errors.push("learnt list holds an original clause".to_string());
+            }
+        }
+
+        // The GF(2) engine's structural invariants (RREF, pivot maps,
+        // watch registration).
+        self.xors.audit(&mut errors);
+        errors
     }
 
     /// Compacts the clause arena and remaps every stored [`ClauseRef`].
@@ -1012,6 +1291,28 @@ mod tests {
             s.add_clause(&lits);
         }
         s
+    }
+
+    #[test]
+    fn input_mirror_records_constraints_verbatim() {
+        let mut s = Solver::new();
+        s.enable_input_mirror();
+        for _ in 0..3 {
+            s.new_var();
+        }
+        // The solver simplifies (dedups, drops satisfied clauses); the
+        // mirror must keep the verbatim stream anyway.
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(1), lit(2), lit(2)]);
+        s.add_xor(&[lit(2), lit(-3)], true);
+        let m = s.input_mirror().expect("enabled");
+        assert_eq!(m.clauses.len(), 2);
+        assert_eq!(m.clauses[1], vec![lit(1), lit(2), lit(2)]);
+        assert_eq!(m.xors.len(), 1);
+        assert_eq!(m.xors[0].lits, vec![lit(2), lit(-3)]);
+        // Solving derives facts but never touches the mirror.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.input_mirror().unwrap().clauses.len(), 2);
     }
 
     #[test]

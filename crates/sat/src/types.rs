@@ -72,7 +72,7 @@ impl Lit {
 
     /// DIMACS encoding: 1-based, negative numbers for negated literals.
     pub fn to_dimacs(self) -> i64 {
-        let v = (self.var().0 + 1) as i64;
+        let v = i64::from(self.var().0 + 1);
         if self.is_positive() {
             v
         } else {

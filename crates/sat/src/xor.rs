@@ -36,7 +36,13 @@
 
 use gf2::BitVec;
 
+use crate::proof::ProofLogger;
 use crate::types::{LBool, Lit, Var};
+
+/// The solver's (possibly absent) proof sink, threaded through the engine
+/// so add-time derivations (units by elimination, inconsistent rows) are
+/// logged with their GF(2) provenance.
+pub(crate) type ProofSink = Option<Box<dyn ProofLogger>>;
 
 /// A native parity constraint: the XOR of `lits` must equal `rhs`.
 ///
@@ -158,6 +164,14 @@ struct XorRow {
     pivot: u32,
     /// Dead rows (eliminated to units/tautologies) are skipped lazily.
     alive: bool,
+    /// Derivation provenance: the set of input xor constraints (ids in add
+    /// order) whose GF(2) sum, after substituting `units`, equals this
+    /// row. Maintained by symmetric difference under every row operation,
+    /// so `fold(origin) ⊕ fold(units) = (bits, rhs)` is an invariant.
+    origin: Vec<u32>,
+    /// Top-level unit literals substituted into this row (each `l` stands
+    /// for the singleton constraint `var(l) = polarity(l)`).
+    units: Vec<Lit>,
 }
 
 /// A propagation discovered by the engine: `lit` is implied by row `row`
@@ -184,6 +198,8 @@ pub(crate) struct XorEngine {
     width: usize,
     /// Live row count.
     num_live: usize,
+    /// Input xor constraints seen so far (the next constraint's proof id).
+    next_input_id: u32,
 }
 
 impl XorEngine {
@@ -242,21 +258,34 @@ impl XorEngine {
         rhs: bool,
         assigns: &[LBool],
         units: &mut Vec<Lit>,
+        proof: &mut ProofSink,
     ) -> bool {
+        let id = self.next_input_id;
+        self.next_input_id += 1;
+        let mut origin = vec![id];
+        let mut umeta: Vec<Lit> = Vec::new();
+
         // Substitute fixed variables, map the rest onto columns.
         let mut rhs = rhs;
         let mut cols: Vec<usize> = Vec::with_capacity(vars.len());
         for &v in vars {
             match assigns[v.index()] {
-                LBool::True => rhs = !rhs,
-                LBool::False => {}
+                LBool::True => {
+                    rhs = !rhs;
+                    umeta.push(Lit::positive(v));
+                }
+                LBool::False => umeta.push(Lit::negative(v)),
                 LBool::Undef => cols.push(self.col_for(v)),
             }
         }
+        umeta.sort_unstable();
         if self.width == 0 {
             // Every variable was substituted (and `col_for` grows the
             // width before the first real column): constant constraint.
             debug_assert!(cols.is_empty());
+            if rhs {
+                log_xor(proof, &[], &origin, &umeta);
+            }
             return !rhs;
         }
         let mut bits = BitVec::zeros(self.width);
@@ -276,28 +305,39 @@ impl XorEngine {
             let row = &self.rows[owner as usize];
             xor_into(&mut bits, &row.bits);
             rhs ^= row.rhs;
+            sym_diff(&mut origin, &row.origin);
+            sym_diff(&mut umeta, &row.units);
             scan = c + 1;
         }
 
-        self.install(bits, rhs, assigns, units)
+        self.install(bits, rhs, origin, umeta, assigns, units, proof)
     }
 
     /// Installs a pivot-reduced row: registers its pivot, eliminates that
     /// column from every other live row, and sets up watches. Returns
     /// `false` on inconsistency.
+    #[allow(clippy::too_many_arguments)] // internal seam; the tuple halves travel together
     fn install(
         &mut self,
         bits: BitVec,
         rhs: bool,
+        origin: Vec<u32>,
+        umeta: Vec<Lit>,
         assigns: &[LBool],
         units: &mut Vec<Lit>,
+        proof: &mut ProofSink,
     ) -> bool {
         let Some(pivot) = bits.first_one() else {
+            if rhs {
+                log_xor(proof, &[], &origin, &umeta);
+            }
             return !rhs;
         };
         if only_one(&bits) {
             // Singleton: a top-level unit, not a stored row.
-            units.push(Lit::new(Var::from_index(self.col_var[pivot] as usize), rhs));
+            let unit = Lit::new(Var::from_index(self.col_var[pivot] as usize), rhs);
+            log_xor(proof, &[unit], &origin, &umeta);
+            units.push(unit);
             return true;
         }
 
@@ -310,11 +350,13 @@ impl XorEngine {
             let row = &mut self.rows[ri];
             xor_into_unsized(&mut row.bits, &bits);
             row.rhs ^= rhs;
+            sym_diff(&mut row.origin, &origin);
+            sym_diff(&mut row.units, &umeta);
             touched.push(ri as u32);
         }
         let mut ok = true;
         for &ri in &touched {
-            ok &= self.repair_row(ri as usize, assigns, units);
+            ok &= self.repair_row(ri as usize, assigns, units, proof);
         }
         if !ok {
             return false;
@@ -328,22 +370,33 @@ impl XorEngine {
             watch: [NONE, NONE],
             pivot: pivot as u32,
             alive: true,
+            origin,
+            units: umeta,
         });
         self.num_live += 1;
-        self.attach_watches(idx, assigns, units)
+        self.attach_watches(idx, assigns, units, proof)
     }
 
     /// Re-examines a row whose bits just changed at level 0: it may have
     /// degenerated to empty (tautology or inconsistency), to a unit, or
     /// lost a watched column. Returns `false` on inconsistency.
-    fn repair_row(&mut self, ri: usize, assigns: &[LBool], units: &mut Vec<Lit>) -> bool {
+    fn repair_row(
+        &mut self,
+        ri: usize,
+        assigns: &[LBool],
+        units: &mut Vec<Lit>,
+        proof: &mut ProofSink,
+    ) -> bool {
         if self.rows[ri].bits.is_zero() {
             let rhs = self.rows[ri].rhs;
+            if rhs {
+                log_xor(proof, &[], &self.rows[ri].origin, &self.rows[ri].units);
+            }
             self.kill_row(ri);
             return !rhs;
         }
         self.unwatch_row(ri);
-        self.attach_watches(ri, assigns, units)
+        self.attach_watches(ri, assigns, units, proof)
     }
 
     /// Drops both watcher-list registrations of row `ri`.
@@ -370,7 +423,13 @@ impl XorEngine {
     /// and retired. Watching only unassigned columns is what keeps search
     /// propagation complete: a watch on an already-assigned variable never
     /// fires again.
-    fn attach_watches(&mut self, ri: usize, assigns: &[LBool], units: &mut Vec<Lit>) -> bool {
+    fn attach_watches(
+        &mut self,
+        ri: usize,
+        assigns: &[LBool],
+        units: &mut Vec<Lit>,
+        proof: &mut ProofSink,
+    ) -> bool {
         let mut unassigned = [NONE; 2];
         let mut count = 0;
         for c in self.rows[ri].bits.iter_ones() {
@@ -394,10 +453,12 @@ impl XorEngine {
                 // Unit under the level-0 assignment.
                 let target = unassigned[0] as usize;
                 let rhs = self.row_residual(ri, target, assigns);
-                units.push(Lit::new(
-                    Var::from_index(self.col_var[target] as usize),
-                    rhs,
-                ));
+                let unit = Lit::new(Var::from_index(self.col_var[target] as usize), rhs);
+                if proof.is_some() {
+                    let meta = self.substituted_meta(ri, Some(target), assigns);
+                    log_xor(proof, &[unit], &self.rows[ri].origin, &meta);
+                }
+                units.push(unit);
                 self.kill_row(ri);
                 true
             }
@@ -407,10 +468,47 @@ impl XorEngine {
                 for c in self.rows[ri].bits.iter_ones() {
                     acc ^= self.col_value(c, assigns) == LBool::True;
                 }
+                if acc && proof.is_some() {
+                    let meta = self.substituted_meta(ri, None, assigns);
+                    log_xor(proof, &[], &self.rows[ri].origin, &meta);
+                }
                 self.kill_row(ri);
                 !acc
             }
         }
+    }
+
+    /// The unit-substitution metadata of row `ri` after additionally
+    /// substituting every assigned column except `skip`: the row's stored
+    /// `units` xored with the trail literal of each assigned column. With
+    /// these substitutions the row degenerates to the unit over `skip` (or
+    /// to a constant), which is exactly what the proof step asserts.
+    fn substituted_meta(&self, ri: usize, skip: Option<usize>, assigns: &[LBool]) -> Vec<Lit> {
+        let row = &self.rows[ri];
+        let mut meta = row.units.clone();
+        let mut extra: Vec<Lit> = Vec::new();
+        for c in row.bits.iter_ones() {
+            if Some(c) == skip {
+                continue;
+            }
+            let v = Var::from_index(self.col_var[c] as usize);
+            match assigns[v.index()] {
+                LBool::True => extra.push(Lit::positive(v)),
+                LBool::False => extra.push(Lit::negative(v)),
+                LBool::Undef => {}
+            }
+        }
+        extra.sort_unstable();
+        sym_diff(&mut meta, &extra);
+        meta
+    }
+
+    /// Derivation provenance of row `ri` for proof logging: the input xor
+    /// ids whose sum, after substituting the returned unit literals,
+    /// equals the row.
+    pub(crate) fn row_meta(&self, ri: u32) -> (&[u32], &[Lit]) {
+        let row = &self.rows[ri as usize];
+        (&row.origin, &row.units)
     }
 
     /// The parity forced on column `skip` by the rest of row `ri` under
@@ -539,7 +637,7 @@ impl XorEngine {
         out: &mut Vec<Lit>,
     ) {
         let row = &self.rows[ri as usize];
-        let skip = skip_var.map(|v| v.index());
+        let skip = skip_var.map(super::types::Var::index);
         for c in row.bits.iter_ones() {
             let v = self.col_var[c] as usize;
             if Some(v) == skip {
@@ -548,6 +646,85 @@ impl XorEngine {
             // The literal currently false: the negation of the assignment.
             debug_assert_ne!(assigns[v], LBool::Undef);
             out.push(Lit::new(Var::from_index(v), assigns[v] == LBool::False));
+        }
+    }
+
+    /// Structural invariant check: the matrix is in RREF, pivot maps are
+    /// inverse, watches are registered, and the column maps are bijective.
+    /// Violations are appended to `errors` as human-readable strings.
+    pub(crate) fn audit(&self, errors: &mut Vec<String>) {
+        let mut err = |msg: String| errors.push(format!("xor: {msg}"));
+        // Column maps are inverse bijections.
+        for (c, &v) in self.col_var.iter().enumerate() {
+            if self.var_col.get(v as usize).copied() != Some(c as u32) {
+                err(format!("col {c} maps to var {v} but not back"));
+            }
+        }
+        for (v, &c) in self.var_col.iter().enumerate() {
+            if c != NONE && self.col_var.get(c as usize).copied() != Some(v as u32) {
+                err(format!("var {v} maps to col {c} but not back"));
+            }
+        }
+        if self.width < self.col_var.len() {
+            err(format!(
+                "width {} < {} columns",
+                self.width,
+                self.col_var.len()
+            ));
+        }
+        // Rows: alive count, pivot ownership, RREF shape, watch registration.
+        let live = self.rows.iter().filter(|r| r.alive).count();
+        if live != self.num_live {
+            err(format!(
+                "num_live {} but {} alive rows",
+                self.num_live, live
+            ));
+        }
+        for (ri, row) in self.rows.iter().enumerate() {
+            if !row.alive {
+                continue;
+            }
+            if row.bits.is_zero() {
+                err(format!("live row {ri} is empty"));
+                continue;
+            }
+            let pivot = row.pivot as usize;
+            if !row.bits.get(pivot) {
+                err(format!("row {ri} pivot col {pivot} not set in its bits"));
+            }
+            if self.pivot_row.get(pivot).copied() != Some(ri as u32) {
+                err(format!("row {ri} does not own its pivot col {pivot}"));
+            }
+            // RREF: no other live row contains this row's pivot column.
+            for (rj, other) in self.rows.iter().enumerate() {
+                if rj != ri && other.alive && other.bits.get(pivot) {
+                    err(format!("row {rj} contains row {ri}'s pivot col {pivot}"));
+                }
+            }
+            for w in row.watch {
+                if w == NONE {
+                    err(format!("live row {ri} has an unset watch"));
+                    continue;
+                }
+                if !row.bits.get(w as usize) {
+                    err(format!("row {ri} watches col {w} not in its bits"));
+                }
+                if !self.watchers[w as usize].contains(&(ri as u32)) {
+                    err(format!("row {ri} not registered on watched col {w}"));
+                }
+            }
+            if row.watch[0] == row.watch[1] {
+                err(format!("row {ri} watches the same column twice"));
+            }
+        }
+        // Watcher lists may hold stale entries (dead rows, moved watches) —
+        // that is the lazy-repair contract — but never out-of-range ones.
+        for (c, list) in self.watchers.iter().enumerate() {
+            for &ri in list {
+                if ri as usize >= self.rows.len() {
+                    err(format!("watcher list for col {c} has bogus row {ri}"));
+                }
+            }
         }
     }
 
@@ -597,6 +774,50 @@ fn only_one(bits: &BitVec) -> bool {
     bits.count_ones() == 1
 }
 
+/// Symmetric difference of two sorted deduplicated vectors, in place.
+/// This is the metadata mirror of a GF(2) row xor: elements present in
+/// both sides cancel.
+fn sym_diff<T: Ord + Copy>(dst: &mut Vec<T>, src: &[T]) {
+    if src.is_empty() {
+        return;
+    }
+    let old = std::mem::take(dst);
+    dst.reserve(old.len() + src.len());
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < src.len() {
+        match (old.get(i), src.get(j)) {
+            (Some(a), Some(b)) if a == b => {
+                i += 1;
+                j += 1;
+            }
+            (Some(a), Some(b)) if a < b => {
+                dst.push(*a);
+                i += 1;
+            }
+            (Some(_), Some(b)) => {
+                dst.push(*b);
+                j += 1;
+            }
+            (Some(a), None) => {
+                dst.push(*a);
+                i += 1;
+            }
+            (None, Some(b)) => {
+                dst.push(*b);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+/// Emits an xor-derived proof step if a logger is installed.
+fn log_xor(proof: &mut ProofSink, lits: &[Lit], origin: &[u32], units: &[Lit]) {
+    if let Some(p) = proof.as_mut() {
+        p.add_xor_derived(lits, origin, units);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,15 +860,16 @@ mod tests {
         let mut eng = XorEngine::default();
         let assigns = vec![LBool::Undef; 4];
         let mut units = Vec::new();
+        let mut proof: ProofSink = None;
         let vars: Vec<Var> = (0..3).map(Var::from_index).collect();
-        assert!(eng.add(&vars, true, &assigns, &mut units));
+        assert!(eng.add(&vars, true, &assigns, &mut units, &mut proof));
         assert_eq!(eng.num_rows(), 1);
         // The same row again is redundant.
-        assert!(eng.add(&vars, true, &assigns, &mut units));
+        assert!(eng.add(&vars, true, &assigns, &mut units, &mut proof));
         assert_eq!(eng.num_rows(), 1);
         assert!(units.is_empty());
         // The same row with flipped parity is inconsistent.
-        assert!(!eng.add(&vars, false, &assigns, &mut units));
+        assert!(!eng.add(&vars, false, &assigns, &mut units, &mut proof));
     }
 
     #[test]
@@ -656,9 +878,10 @@ mod tests {
         let mut eng = XorEngine::default();
         let assigns = vec![LBool::Undef; 4];
         let mut units = Vec::new();
+        let mut proof: ProofSink = None;
         let v: Vec<Var> = (0..3).map(Var::from_index).collect();
-        assert!(eng.add(&[v[0], v[1]], true, &assigns, &mut units));
-        assert!(eng.add(&[v[0], v[1], v[2]], true, &assigns, &mut units));
+        assert!(eng.add(&[v[0], v[1]], true, &assigns, &mut units, &mut proof));
+        assert!(eng.add(&[v[0], v[1], v[2]], true, &assigns, &mut units, &mut proof));
         assert_eq!(units, vec![Lit::negative(v[2])]);
         assert_eq!(eng.num_rows(), 1, "the combined row dies into the unit");
     }
@@ -668,9 +891,10 @@ mod tests {
         let mut eng = XorEngine::default();
         let assigns = vec![LBool::Undef; 8];
         let mut units = Vec::new();
+        let mut proof: ProofSink = None;
         let v: Vec<Var> = (0..4).map(Var::from_index).collect();
-        eng.add(&[v[0], v[1], v[2]], true, &assigns, &mut units);
-        eng.add(&[v[1], v[2], v[3]], false, &assigns, &mut units);
+        eng.add(&[v[0], v[1], v[2]], true, &assigns, &mut units, &mut proof);
+        eng.add(&[v[1], v[2], v[3]], false, &assigns, &mut units, &mut proof);
         let rows = eng.export();
         assert_eq!(rows.len(), 2);
         // Brute-force: the exported system has the same solution set.

@@ -160,7 +160,7 @@ impl ScanAccess for LockedScanChip<'_> {
         // Shift-out: read the port, then clock. `raw[j]` is the bit seen
         // before edge `n + captures + j`; scan-in is held low.
         let mut raw = vec![false; n];
-        for slot in raw.iter_mut() {
+        for slot in &mut raw {
             *slot = *cells.last().expect("chain is nonempty");
             self.shift_edge(&mut cells, false);
         }

@@ -12,6 +12,8 @@
 //! * [`cnf`] — Tseitin encoding of circuits onto the SAT solver
 //! * [`dynunlock`] — the attack: DIP loop plus GF(2) seed recovery
 //! * [`duharness`] — the paper-table reproduction harness
+//! * [`proofcheck`] — standalone DRAT+xor proof checker for certified
+//!   solving
 
 pub use cnf;
 pub use duharness;
@@ -20,6 +22,7 @@ pub use gf2;
 pub use lfsr;
 pub use netlist;
 pub use par;
+pub use proofcheck;
 pub use satsolver;
 pub use scanlock;
 pub use sim;

@@ -61,7 +61,7 @@ impl ScanAccess for LeakyChip<'_> {
     fn query_captures(&mut self, pattern: &[bool], pis: &[bool], captures: usize) -> ScanResponse {
         // No reseed here: the LFSR state survives from the last query.
         let mut resp = self.inner.query_captures(pattern, pis, captures);
-        for bit in resp.scan_out.iter_mut() {
+        for bit in &mut resp.scan_out {
             *bit ^= self.lfsr.bit(0);
             self.lfsr.step();
         }
