@@ -19,6 +19,7 @@ use std::path::{Path, PathBuf};
 
 /// Errors surfaced while loading or diffing bench JSON files.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CompareError {
     /// Reading a file or listing a directory failed.
     Io {

@@ -28,12 +28,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dynunlock::{unlock, AttackConfig, Unlock};
-use gf2::Xoshiro256;
+use dynunlock::{
+    unlock, AttackConfig, AttackState, FaultStats, RobustConfig, RobustOutcome, Step, Unlock,
+};
+use gf2::{BitVec, Xoshiro256};
 use lfsr::TapSet;
 use netlist::profiles::{by_name, BenchmarkProfile};
+use netlist::Circuit;
 use scanlock::{LockSpec, LockedScanChip};
-use sim::ScanChain;
+use sim::{FaultSpec, FaultyOracle, ScanChain};
 
 /// What to attack and how hard.
 #[derive(Debug, Clone)]
@@ -73,6 +76,12 @@ pub struct HarnessConfig {
     /// proof ([`AttackConfig::certify`]); proof size and check time are
     /// then recorded per row.
     pub certify: bool,
+    /// Re-attack each profile through a seeded [`FaultyOracle`] (bit-flip
+    /// noise + transient errors) with the fault-tolerant
+    /// [`AttackState`] machine, reported as `"{name}+faults"` rows with
+    /// `retries` / `repaired_bits` / `checkpoint_bytes` metrics
+    /// (`DU_FAULTS=1`).
+    pub faults: bool,
 }
 
 impl HarnessConfig {
@@ -91,6 +100,7 @@ impl HarnessConfig {
             threads: None,
             lane_width: 64,
             certify: false,
+            faults: false,
         }
     }
 
@@ -115,6 +125,7 @@ impl HarnessConfig {
             threads: None,
             lane_width: 64,
             certify: false,
+            faults: false,
         }
     }
 
@@ -132,12 +143,14 @@ impl HarnessConfig {
             threads: None,
             lane_width: 64,
             certify: false,
+            faults: false,
         }
     }
 
     /// [`smoke`](HarnessConfig::smoke) under `BENCH_SMOKE=1`, otherwise
     /// [`full`](HarnessConfig::full); `DU_CERTIFY=1` switches proof
-    /// certification on for every attack in the run.
+    /// certification on for every attack in the run; `DU_FAULTS=1` adds
+    /// the fault-injected `"{name}+faults"` rows.
     pub fn from_env() -> Self {
         let mut cfg = if bench::smoke() {
             HarnessConfig::smoke()
@@ -145,6 +158,7 @@ impl HarnessConfig {
             HarnessConfig::full()
         };
         cfg.certify = std::env::var("DU_CERTIFY").is_ok_and(|v| v == "1");
+        cfg.faults = std::env::var("DU_FAULTS").is_ok_and(|v| v == "1");
         cfg
     }
 }
@@ -170,6 +184,12 @@ pub struct AttackRow {
     pub lane_width: usize,
     /// The attack result.
     pub unlock: Unlock,
+    /// Fault-handling counters, for `"{name}+faults"` rows run through
+    /// the [`AttackState`] machine against a [`FaultyOracle`].
+    pub faults: Option<FaultStats>,
+    /// Size of a mid-attack checkpoint taken during the run, for fault
+    /// rows (the serialized `duckpt` document, in bytes).
+    pub checkpoint_bytes: Option<usize>,
 }
 
 /// Locks one (scaled) profile and runs the attack against it.
@@ -180,46 +200,161 @@ pub struct AttackRow {
 /// harness reproduces a table of successes; a failure is a bug, not a
 /// data point.
 pub fn attack_profile(profile: &BenchmarkProfile, cfg: &HarnessConfig) -> AttackRow {
-    let scaled = profile.scaled(cfg.scale);
-    let circuit = scaled.build(cfg.variant);
-    let n = circuit.num_dffs();
-    let mut rng = Xoshiro256::new(cfg.variant.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (n as u64));
-    let chain = if cfg.shuffled_chains {
-        ScanChain::shuffled(n, &mut rng)
-    } else {
-        ScanChain::natural(n)
-    };
-    // A session is 2n + c edges; the key schedule must not wrap inside it.
-    let min_period = (2 * n + cfg.captures) as u64;
-    let taps = TapSet::for_width(cfg.key_width, min_period, &mut rng)
-        .expect("a usable tap set exists for the configured key width");
-    let num_gates = ((n as f64 * cfg.gate_fraction) as usize).clamp(2, n);
-    let spec = LockSpec::random(taps, n, num_gates, &mut rng);
-    let secret = spec.random_seed(&mut rng);
-    let mut oracle = LockedScanChip::new(&circuit, chain.clone(), spec.clone(), secret);
-
+    let inst = LockedInstance::build(profile, cfg);
+    let mut oracle = inst.oracle();
     let attack_cfg = AttackConfig {
         captures: cfg.captures,
         certify: cfg.certify,
         ..AttackConfig::default()
     };
-    let unlock = unlock(&circuit, &chain, &spec, &mut oracle, &attack_cfg)
-        .unwrap_or_else(|e| panic!("attack on {} failed: {e}", profile.name));
-    AttackRow {
-        name: profile.name.to_string(),
-        flops: n,
-        gates: circuit.num_gates(),
-        key_width: spec.width(),
-        key_gates: spec.gates().len(),
-        threads: par::resolve(cfg.threads),
-        lane_width: cfg.lane_width,
-        unlock,
+    let unlock = unlock(
+        &inst.circuit,
+        &inst.chain,
+        &inst.spec,
+        &mut oracle,
+        &attack_cfg,
+    )
+    .unwrap_or_else(|e| panic!("attack on {} failed: {e}", profile.name));
+    inst.row(profile.name.to_string(), cfg, unlock, None, None)
+}
+
+/// Re-attacks one profile through a seeded [`FaultyOracle`] (bit-flip
+/// noise plus transient query errors) with the fault-tolerant
+/// [`AttackState`] machine: majority-vote replication repairs the noise,
+/// retry + backoff absorbs the transients, and a mid-run checkpoint is
+/// taken so the row can report its serialized size.
+///
+/// # Panics
+///
+/// Panics if the profile name is unknown or the attack degrades — the
+/// configured fault schedule is within what the machine must repair.
+pub fn attack_profile_faulty(profile: &BenchmarkProfile, cfg: &HarnessConfig) -> AttackRow {
+    let inst = LockedInstance::build(profile, cfg);
+    let robust = RobustConfig {
+        base: AttackConfig {
+            captures: cfg.captures,
+            certify: cfg.certify,
+            ..AttackConfig::default()
+        },
+        replication: 3,
+        ..RobustConfig::default()
+    };
+    // Deterministic fault schedule, decorrelated from the lock drawing.
+    let fault_seed = cfg.variant ^ (inst.circuit.num_dffs() as u64).rotate_left(17) ^ 0xFA_07;
+    let mut oracle = FaultyOracle::new(
+        inst.oracle(),
+        FaultSpec::new(fault_seed)
+            .with_bit_flips(1_000)
+            .with_transients(20_000),
+    );
+    let mut state = AttackState::new(&inst.circuit, &inst.chain, &inst.spec, robust);
+    let mut checkpoint_bytes = None;
+    loop {
+        match state.step(&mut oracle) {
+            Step::Dip | Step::OutOfBudget => {
+                // One checkpoint per run, once there is real state in it.
+                if checkpoint_bytes.is_none() {
+                    checkpoint_bytes = Some(state.checkpoint().to_bytes().len());
+                }
+            }
+            Step::Converged => break,
+            Step::Degraded(reason) => {
+                panic!("fault-mode attack on {} degraded: {reason}", profile.name)
+            }
+        }
+    }
+    let checkpoint_bytes = checkpoint_bytes.unwrap_or_else(|| state.checkpoint().to_bytes().len());
+    match state.finish(&mut oracle) {
+        RobustOutcome::Unlocked { unlock, faults } => inst.row(
+            format!("{}+faults", profile.name),
+            cfg,
+            unlock,
+            Some(faults),
+            Some(checkpoint_bytes),
+        ),
+        RobustOutcome::Partial(report) => {
+            panic!(
+                "fault-mode attack on {} degraded in verification: {}",
+                profile.name, report.reason
+            )
+        }
+    }
+}
+
+/// One locked instance, built deterministically from a profile and the
+/// harness knobs — shared by the reliable and fault-injected attack paths
+/// so both attack the *same* lock.
+struct LockedInstance {
+    circuit: Circuit,
+    chain: ScanChain,
+    spec: LockSpec,
+    secret: BitVec,
+}
+
+impl LockedInstance {
+    fn build(profile: &BenchmarkProfile, cfg: &HarnessConfig) -> LockedInstance {
+        let scaled = profile.scaled(cfg.scale);
+        let circuit = scaled.build(cfg.variant);
+        let n = circuit.num_dffs();
+        let mut rng = Xoshiro256::new(cfg.variant.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (n as u64));
+        let chain = if cfg.shuffled_chains {
+            ScanChain::shuffled(n, &mut rng)
+        } else {
+            ScanChain::natural(n)
+        };
+        // A session is 2n + c edges; the key schedule must not wrap inside it.
+        let min_period = (2 * n + cfg.captures) as u64;
+        let taps = TapSet::for_width(cfg.key_width, min_period, &mut rng)
+            .expect("a usable tap set exists for the configured key width");
+        let num_gates = ((n as f64 * cfg.gate_fraction) as usize).clamp(2, n);
+        let spec = LockSpec::random(taps, n, num_gates, &mut rng);
+        let secret = spec.random_seed(&mut rng);
+        LockedInstance {
+            circuit,
+            chain,
+            spec,
+            secret,
+        }
+    }
+
+    fn oracle(&self) -> LockedScanChip<'_> {
+        LockedScanChip::new(
+            &self.circuit,
+            self.chain.clone(),
+            self.spec.clone(),
+            self.secret.clone(),
+        )
+    }
+
+    fn row(
+        &self,
+        name: String,
+        cfg: &HarnessConfig,
+        unlock: Unlock,
+        faults: Option<FaultStats>,
+        checkpoint_bytes: Option<usize>,
+    ) -> AttackRow {
+        AttackRow {
+            name,
+            flops: self.circuit.num_dffs(),
+            gates: self.circuit.num_gates(),
+            key_width: self.spec.width(),
+            key_gates: self.spec.gates().len(),
+            threads: par::resolve(cfg.threads),
+            lane_width: cfg.lane_width,
+            unlock,
+            faults,
+            checkpoint_bytes,
+        }
     }
 }
 
 /// Runs [`attack_profile`] over every configured profile, then re-attacks
 /// the first profile once per [`HarnessConfig::width_sweep`] width,
-/// reporting those rows as `"{name}@w{width}"`.
+/// reporting those rows as `"{name}@w{width}"`. With
+/// [`HarnessConfig::faults`] set, every configured profile is additionally
+/// re-attacked through a faulty oracle ([`attack_profile_faulty`]) as a
+/// `"{name}+faults"` row.
 ///
 /// # Panics
 ///
@@ -241,6 +376,12 @@ pub fn run_profiles(cfg: &HarnessConfig) -> Vec<AttackRow> {
             let mut row = attack_profile(profile, &swept);
             row.name = format!("{}@w{width}", row.name);
             rows.push(row);
+        }
+    }
+    if cfg.faults {
+        for name in &cfg.profiles {
+            let profile = by_name(name).unwrap_or_else(|| panic!("unknown profile {name:?}"));
+            rows.push(attack_profile_faulty(profile, cfg));
         }
     }
     rows
@@ -288,6 +429,20 @@ pub fn record(rows: &[AttackRow], reporter: &mut bench::Reporter) {
         reporter.add_metric(&id, "lane_width", r.lane_width as f64);
         reporter.add_metric(&id, "rank", r.unlock.rank as f64);
         reporter.add_metric(&id, "verified", if r.unlock.verified { 1.0 } else { 0.0 });
+        let st = &r.unlock.solver_stats;
+        reporter.add_metric(&id, "solver_decisions", st.decisions as f64);
+        reporter.add_metric(&id, "solver_conflicts", st.conflicts as f64);
+        reporter.add_metric(&id, "solver_restarts", st.restarts as f64);
+        reporter.add_metric(&id, "solver_propagations", st.propagations as f64);
+        reporter.add_metric(&id, "budget_exhaustions", st.budget_exhaustions as f64);
+        if let Some(faults) = &r.faults {
+            reporter.add_metric(&id, "retries", faults.retries as f64);
+            reporter.add_metric(&id, "repaired_bits", faults.repaired_bits as f64);
+            reporter.add_metric(&id, "backoff_ns", faults.backoff.as_nanos() as f64);
+        }
+        if let Some(bytes) = r.checkpoint_bytes {
+            reporter.add_metric(&id, "checkpoint_bytes", bytes as f64);
+        }
         if let Some(cert) = &r.unlock.certificate {
             reporter.add_metric(&id, "proof_steps", cert.stats.steps() as f64);
             reporter.add_metric(&id, "proof_bytes", cert.proof.len() as f64);
@@ -400,6 +555,41 @@ mod tests {
         assert_eq!(swept.name, "s5378@w12");
         assert_eq!(swept.key_width, 12);
         assert!(swept.unlock.verified);
+    }
+
+    #[test]
+    fn fault_rows_unlock_and_record_fault_metrics() {
+        let mut cfg = HarnessConfig::tiny();
+        cfg.profiles = vec!["s5378"];
+        cfg.faults = true;
+        let rows = run_profiles(&cfg);
+        assert_eq!(rows.len(), 2, "one reliable row plus one fault row");
+        let fault_row = rows.last().unwrap();
+        assert_eq!(fault_row.name, "s5378+faults");
+        assert!(fault_row.unlock.verified, "fault row must still verify");
+        // Same lock as the reliable row, so the recovered seed agrees.
+        assert_eq!(fault_row.unlock.seed, rows[0].unlock.seed);
+        let ckpt = fault_row.checkpoint_bytes.expect("fault rows checkpoint");
+        assert!(ckpt > 0);
+        assert!(fault_row.faults.is_some());
+
+        let mut rep = bench::Reporter::new("dynunlock-faults-selftest");
+        record(&rows, &mut rep);
+        let dir = std::env::temp_dir().join(format!("duharness-faults-{}", std::process::id()));
+        let path = rep.finish_to(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        for needle in [
+            "s5378+faults",
+            "retries",
+            "repaired_bits",
+            "checkpoint_bytes",
+            "solver_restarts",
+            "solver_decisions",
+            "budget_exhaustions",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! The DIP loop and seed recovery.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cnf::{Encoder, XorMode};
-use gf2::{BitVec, Rng64, SplitMix64};
-use lfsr::recover::SeedRecovery;
+use gf2::BitVec;
 use netlist::Circuit;
-use satsolver::{Lit, SolveResult};
-use scanlock::{LockSpec, LockedScanChip};
-use sim::{ScanAccess, ScanChain};
+use satsolver::{Lit, SolverStats};
+use scanlock::LockSpec;
+use sim::{Reliable, ScanAccess, ScanChain};
 
-use crate::model::{session_masks, SessionMasks};
+use crate::model::SessionMasks;
+use crate::robust::{AttackState, RobustConfig, RobustOutcome};
 
 /// Attack tuning knobs.
 #[derive(Debug, Clone)]
@@ -80,6 +80,9 @@ pub struct Unlock {
     /// Time spent producing and checking the certificate (zero when
     /// certification was off).
     pub certify_time: Duration,
+    /// The SAT solver's lifetime work counters at the end of the attack
+    /// (restarts, decisions, conflicts, budget exhaustions, ...).
+    pub solver_stats: SolverStats,
 }
 
 /// Why an attack run failed.
@@ -136,13 +139,14 @@ impl std::error::Error for AttackError {}
 
 /// One symbolic seed hypothesis: its seed variables and its per-position
 /// mask literals (each a parity of seed variables).
-struct SeedCopy {
-    vars: Vec<Lit>,
-    alpha: Vec<Lit>,
-    beta: Vec<Lit>,
+#[derive(Debug)]
+pub(crate) struct SeedCopy {
+    pub(crate) vars: Vec<Lit>,
+    pub(crate) alpha: Vec<Lit>,
+    pub(crate) beta: Vec<Lit>,
 }
 
-fn seed_copy(enc: &mut Encoder, width: usize, masks: &SessionMasks) -> SeedCopy {
+pub(crate) fn seed_copy(enc: &mut Encoder, width: usize, masks: &SessionMasks) -> SeedCopy {
     let vars = enc.fresh_many(width);
     let alpha = masks
         .alpha
@@ -161,7 +165,7 @@ fn seed_copy(enc: &mut Encoder, width: usize, masks: &SessionMasks) -> SeedCopy 
 /// into the pattern, scatter into flop order, unroll the capture frames,
 /// gather back to chain order, XOR the unload mask. Returns
 /// `(scan_out, po)` literals.
-fn locked_cone(
+pub(crate) fn locked_cone(
     enc: &mut Encoder,
     circuit: &Circuit,
     chain: &ScanChain,
@@ -241,175 +245,11 @@ pub fn unlock<O: ScanAccess>(
     oracle: &mut O,
     cfg: &AttackConfig,
 ) -> Result<Unlock, AttackError> {
-    let start = Instant::now();
-    let n = chain.len();
-    assert_eq!(n, circuit.num_dffs(), "chain must cover all flops");
-    assert_eq!(oracle.num_cells(), n, "oracle chain length mismatch");
-    assert_eq!(
-        oracle.num_pis(),
-        circuit.inputs().len(),
-        "oracle PI count mismatch"
-    );
-    let masks = session_masks(spec, n, cfg.captures);
-
-    let mut enc = Encoder::with_mode(cfg.xor_mode);
-    if cfg.certify {
-        // Record every constraint verbatim from the start, so the
-        // certificate re-derives convergence from the true inputs rather
-        // than from this solver's own derived facts.
-        enc.solver_mut().enable_input_mirror();
+    let state = AttackState::new(circuit, chain, spec, RobustConfig::strict(cfg.clone()));
+    match state.run(&mut Reliable(&mut *oracle)) {
+        RobustOutcome::Unlocked { unlock, .. } => Ok(unlock),
+        RobustOutcome::Partial(report) => Err(report.reason.into_attack_error()),
     }
-    let copies = [
-        seed_copy(&mut enc, spec.width(), &masks),
-        seed_copy(&mut enc, spec.width(), &masks),
-    ];
-
-    // The miter: a shared symbolic stimulus, both hypotheses' responses,
-    // and an activation literal demanding at least one differing bit.
-    let x = enc.fresh_many(n);
-    let p = enc.fresh_many(circuit.inputs().len());
-    let (so1, po1) = locked_cone(&mut enc, circuit, chain, &copies[0], &x, &p, cfg.captures);
-    let (so2, po2) = locked_cone(&mut enc, circuit, chain, &copies[1], &x, &p, cfg.captures);
-    let act = enc.fresh();
-    let mut miter = vec![!act];
-    for (&a, &b) in so1.iter().zip(&so2).chain(po1.iter().zip(&po2)) {
-        miter.push(enc.xor2(a, b));
-    }
-    enc.assert_clause(&miter);
-
-    let mut solve_time = Duration::ZERO;
-    let mut dip_iterations = 0usize;
-    let mut oracle_queries = 0usize;
-    loop {
-        let t0 = Instant::now();
-        let res = enc.solver_mut().solve_assuming(&[act]);
-        solve_time += t0.elapsed();
-        if res == SolveResult::Unsat {
-            break;
-        }
-        if dip_iterations == cfg.max_dips {
-            return Err(AttackError::DipLimit {
-                limit: cfg.max_dips,
-            });
-        }
-        dip_iterations += 1;
-
-        // Extract the distinguishing stimulus and ask the real chip.
-        let read = |enc: &Encoder, lit: Lit| enc.solver().lit_model_value(lit).unwrap_or(false);
-        let dip_x: Vec<bool> = x.iter().map(|&l| read(&enc, l)).collect();
-        let dip_p: Vec<bool> = p.iter().map(|&l| read(&enc, l)).collect();
-        let resp = oracle.query_captures(&dip_x, &dip_p, cfg.captures);
-        oracle_queries += 1;
-
-        // Constrain both hypotheses to reproduce the observed response on
-        // this stimulus (constant-input cones: the encoder folds them down
-        // to the mask parities plus the capture logic).
-        let x_const: Vec<Lit> = dip_x.iter().map(|&v| enc.constant(v)).collect();
-        let p_const: Vec<Lit> = dip_p.iter().map(|&v| enc.constant(v)).collect();
-        for copy in &copies {
-            let (so, po) = locked_cone(
-                &mut enc,
-                circuit,
-                chain,
-                copy,
-                &x_const,
-                &p_const,
-                cfg.captures,
-            );
-            for (&lit, &val) in so.iter().zip(&resp.scan_out).chain(po.iter().zip(&resp.po)) {
-                if !enc.assert_lit(if val { lit } else { !lit }) {
-                    return Err(AttackError::Inconsistent);
-                }
-            }
-        }
-    }
-
-    // Certification: the convergence claim is exactly "the miter under
-    // the activation literal is UNSAT". Take the verbatim input mirror
-    // (every clause and xor this attack ever added — not the incremental
-    // solver's processed state), pin the activation unit, and make a
-    // fresh proof-logging solver re-derive and *prove* that answer; the
-    // independent checker then verifies the certificate. A failure here
-    // is a solver soundness bug, not an attack failure.
-    let mut certificate = None;
-    let mut certify_time = Duration::ZERO;
-    if cfg.certify {
-        let t0 = Instant::now();
-        let mut closed = enc
-            .solver()
-            .input_mirror()
-            .expect("mirror enabled at attack start")
-            .clone();
-        closed.add_clause(vec![act]);
-        match proofcheck::certify_unsat(&closed) {
-            Ok(cert) => certificate = Some(cert),
-            Err(e) => {
-                return Err(AttackError::Certification {
-                    reason: e.to_string(),
-                })
-            }
-        }
-        certify_time = t0.elapsed();
-    }
-
-    // No distinguishing input remains: every seed consistent with the
-    // observations is functionally equivalent. Materialize one.
-    let t0 = Instant::now();
-    let res = enc.solver_mut().solve();
-    solve_time += t0.elapsed();
-    if res == SolveResult::Unsat {
-        return Err(AttackError::Inconsistent);
-    }
-    let model_seed = BitVec::from_bools(
-        copies[0]
-            .vars
-            .iter()
-            .map(|&l| enc.solver().lit_model_value(l).unwrap_or(false)),
-    );
-
-    // Linear phase: the model fixes every mask bit, and each mask bit is a
-    // known linear form of the seed — Gaussian elimination does the rest.
-    let mut rec = SeedRecovery::new(spec.taps().clone());
-    let mask_lits = copies[0].alpha.iter().chain(&copies[0].beta);
-    let mask_rows = masks.alpha.iter().chain(&masks.beta);
-    for (&lit, row) in mask_lits.zip(mask_rows) {
-        let value = enc.solver().lit_model_value(lit).unwrap_or(false);
-        rec.observe_form(row.clone(), value)
-            .map_err(|_| AttackError::Inconsistent)?;
-    }
-    let rank = rec.rank();
-    let nullity = spec.width() - rank;
-    let seed = rec.unique_seed().unwrap_or(model_seed);
-
-    // Verification: the recovered seed must reproduce the oracle.
-    let mut relocked = LockedScanChip::new(circuit, chain.clone(), spec.clone(), seed.clone());
-    let mut rng = SplitMix64::new(cfg.rng_seed);
-    for probe in 0..cfg.verify_queries {
-        let pat: Vec<bool> = (0..n).map(|_| rng.gen_bool()).collect();
-        let pis: Vec<bool> = (0..circuit.inputs().len())
-            .map(|_| rng.gen_bool())
-            .collect();
-        let expect = oracle.query_captures(&pat, &pis, cfg.captures);
-        oracle_queries += 1;
-        if relocked.query_captures(&pat, &pis, cfg.captures) != expect {
-            return Err(AttackError::VerificationFailed {
-                probes_passed: probe,
-            });
-        }
-    }
-
-    Ok(Unlock {
-        seed,
-        dip_iterations,
-        oracle_queries,
-        solve_time,
-        total_time: start.elapsed(),
-        rank,
-        nullity,
-        verified: cfg.verify_queries > 0,
-        certificate,
-        certify_time,
-    })
 }
 
 #[cfg(test)]
@@ -418,6 +258,7 @@ mod tests {
     use gf2::Xoshiro256;
     use lfsr::TapSet;
     use netlist::generator::{s208_like, GeneratorConfig};
+    use scanlock::LockedScanChip;
 
     /// One end-to-end lock-and-attack exercise. A builder instead of a
     /// positional argument list: the defaulted knobs (captures, xor mode,

@@ -20,6 +20,14 @@
 //!    is observable — then verify against the oracle with random probe
 //!    sessions.
 //!
+//! The [`robust`] module lifts the same loop into a fault-tolerant,
+//! resumable state machine: budgeted SAT calls, retry + backoff against
+//! transient oracle faults, majority-vote repair of bit-flip noise,
+//! checkpoint/resume across process death, and graceful degradation to a
+//! [`robust::PartialReport`] when the attack cannot finish. The classic
+//! [`attack::unlock`] entry point is a strict-configuration wrapper over
+//! it.
+//!
 //! # Example
 //!
 //! ```
@@ -49,6 +57,11 @@
 
 pub mod attack;
 pub mod model;
+pub mod robust;
 
 pub use attack::{unlock, AttackConfig, AttackError, Unlock};
 pub use model::{session_masks, SessionMasks};
+pub use robust::{
+    unlock_robust, AttackState, Checkpoint, CheckpointError, DegradeReason, FaultStats,
+    PartialReport, RetryPolicy, RobustConfig, RobustOutcome, Step,
+};

@@ -174,6 +174,19 @@ impl SeedRecovery {
         sol.nullspace.is_empty().then_some(sol.particular)
     }
 
+    /// Value of seed bit `bit_index` if the equations gathered so far pin
+    /// it uniquely, even when the full seed is still ambiguous. This is
+    /// the per-bit confidence signal a partial attack result reports:
+    /// `Some` bits are certain, `None` bits are still free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_index` is outside the register width.
+    pub fn pinned_bit(&self, bit_index: usize) -> Option<bool> {
+        assert!(bit_index < self.taps.width(), "bit index out of range");
+        self.solver.pinned_value(bit_index)
+    }
+
     /// Enumerates up to `cap` candidate seeds.
     pub fn candidates(&self, cap: usize) -> Vec<BitVec> {
         self.solution().enumerate(cap)
@@ -246,6 +259,27 @@ mod tests {
         assert_eq!(rec.candidate_count(), 1 << 4);
         let cands = rec.candidates(1 << 10);
         assert!(cands.contains(&secret));
+    }
+
+    #[test]
+    fn pinned_bits_track_partial_knowledge() {
+        let taps = TapSet::maximal(10).unwrap();
+        let secret = BitVec::from_u64(10, 0b11_0110_0101 & 0x3FF);
+        // Cycle-0 observations of bits 0..4 pin exactly those seed bits.
+        let rec = watch(&taps, &secret, (0..4).map(|b| (0, b as usize)));
+        for b in 0..4 {
+            assert_eq!(rec.pinned_bit(b), Some(secret.get(b)), "bit {b}");
+        }
+        assert!(
+            (4..10).all(|b| rec.pinned_bit(b).is_none()),
+            "unobserved bits must stay free"
+        );
+        // Full watch pins everything, consistently with unique_seed.
+        let full = watch(&taps, &secret, (0..10).map(|c| (c, 0)));
+        let seed = full.unique_seed().unwrap();
+        for b in 0..10 {
+            assert_eq!(full.pinned_bit(b), Some(seed.get(b)));
+        }
     }
 
     #[test]

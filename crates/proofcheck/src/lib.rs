@@ -59,6 +59,7 @@ pub enum ProofStep {
 
 /// Why a proof failed to verify.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CheckError {
     /// The proof text did not parse.
     Parse {
@@ -569,6 +570,7 @@ pub struct Certificate {
 
 /// Why [`certify_unsat`] failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CertifyError {
     /// The formula is satisfiable — there is nothing to certify.
     Sat,

@@ -279,6 +279,7 @@ impl fmt::Display for Cnf {
 
 /// Errors produced by [`Cnf::parse`]. Line numbers are 1-based.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DimacsError {
     /// Clause data appeared before any `p cnf` header.
     MissingHeader {

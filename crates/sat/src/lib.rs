@@ -16,6 +16,9 @@
 //! * learnt-clause database reduction by activity with arena compaction;
 //! * incremental use: add clauses between `solve` calls, solve under
 //!   assumptions;
+//! * budgeted solving: per-call conflict / propagation / wall-clock
+//!   limits ([`Budget`]) that return [`SolveResult::Unknown`] and leave
+//!   the solver warm and resumable;
 //! * native XOR constraints via an in-solver GF(2) engine — incremental
 //!   Gauss–Jordan elimination plus watched-column propagation, with lazy
 //!   reason clauses feeding ordinary conflict analysis ([`xor`]);
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod clause;
 pub mod dimacs;
 mod heap;
@@ -47,6 +51,7 @@ mod solver;
 mod types;
 pub mod xor;
 
+pub use budget::Budget;
 pub use proof::{DratProof, ProofLogger, ProofStats};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};

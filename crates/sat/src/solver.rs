@@ -8,14 +8,17 @@
 //! compacts.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
+use crate::budget::Budget;
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::proof::ProofLogger;
 use crate::types::{LBool, Lit, Var};
 use crate::xor::{Constraint, ProofSink, XorClause, XorEngine, XorImplication};
 
-/// Outcome of a [`Solver::solve`] / [`Solver::solve_assuming`] call.
+/// Outcome of a [`Solver::solve`] / [`Solver::solve_assuming`] /
+/// [`Solver::solve_limited`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveResult {
     /// A satisfying assignment was found; read it with [`Solver::value`].
@@ -23,6 +26,12 @@ pub enum SolveResult {
     /// The formula is unsatisfiable (under the assumptions, if any were
     /// given).
     Unsat,
+    /// A [`Budget`] limit tripped before the search reached an answer
+    /// (only [`Solver::solve_limited`] can return this). The solver is
+    /// left warm at decision level 0 with every learnt clause retained:
+    /// call again — with or without a budget — to resume the search, or
+    /// add more constraints first. No model is available.
+    Unknown,
 }
 
 /// Work counters accumulated over the lifetime of a [`Solver`].
@@ -46,6 +55,57 @@ pub struct SolverStats {
     pub xor_propagations: u64,
     /// Conflicts detected by the GF(2) xor engine.
     pub xor_conflicts: u64,
+    /// Solve calls that returned [`SolveResult::Unknown`] because a
+    /// [`Budget`] limit tripped.
+    pub budget_exhaustions: u64,
+}
+
+/// Absolute thresholds computed from a [`Budget`] at `solve_limited`
+/// entry (the budget itself is per-call; these are lifetime-counter
+/// targets plus a wall-clock deadline).
+struct ActiveLimits {
+    conflicts: Option<u64>,
+    propagations: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+impl ActiveLimits {
+    fn from_budget(budget: &Budget, stats: &SolverStats) -> ActiveLimits {
+        ActiveLimits {
+            conflicts: budget.conflicts.map(|c| stats.conflicts.saturating_add(c)),
+            propagations: budget
+                .propagations
+                .map(|p| stats.propagations.saturating_add(p)),
+            deadline: budget.wall.map(|w| Instant::now() + w),
+        }
+    }
+
+    /// Whether any limit has tripped. Counter compares are branch-cheap;
+    /// the `Instant` read only happens when a wall limit is set.
+    fn exhausted(&self, stats: &SolverStats) -> bool {
+        if self.conflicts.is_some_and(|cap| stats.conflicts >= cap) {
+            return true;
+        }
+        if self
+            .propagations
+            .is_some_and(|cap| stats.propagations >= cap)
+        {
+            return true;
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// What one bounded [`Solver::search`] episode concluded.
+enum SearchOutcome {
+    /// Full satisfying assignment found.
+    Sat,
+    /// Refuted (at level 0, or under the call's assumptions).
+    Unsat,
+    /// Restart budget spent; caller restarts the episode.
+    Restart,
+    /// A [`Budget`] limit tripped mid-search.
+    OutOfBudget,
 }
 
 /// A watch-list entry: the watched clause plus a cached *blocker* literal
@@ -291,6 +351,32 @@ impl Solver {
         cnf
     }
 
+    /// Exports the live learnt clauses plus the level-0 trail as unit
+    /// clauses. Every returned clause is implied by the original formula
+    /// alone (CDCL learnts never depend on assumptions), so re-adding them
+    /// to a fresh solver over the same formula is sound and warm-starts it
+    /// with this solver's deductions. Complements [`Solver::to_cnf`],
+    /// which deliberately omits learnts. Call at decision level 0.
+    pub fn learnt_clauses(&self) -> Vec<Vec<Lit>> {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut out: Vec<Vec<Lit>> = Vec::new();
+        for &l in &self.trail {
+            out.push(vec![l]);
+        }
+        for cref in self.db.iter_refs() {
+            if self.db.is_learnt(cref) {
+                out.push(
+                    self.db
+                        .lits(cref)
+                        .iter()
+                        .map(|&raw| Lit::from_index(raw as usize))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
     /// Adds a clause (a disjunction of literals).
     ///
     /// Returns `false` if the solver is now known unsatisfiable at the top
@@ -458,6 +544,24 @@ impl Solver {
     /// Panics if an assumption refers to a variable not created with
     /// [`Solver::new_var`].
     pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, &Budget::new())
+    }
+
+    /// Solves under `assumptions` with a per-call work [`Budget`].
+    ///
+    /// Identical to [`Solver::solve_assuming`] until a budget dimension
+    /// trips, at which point the call backtracks to decision level 0 and
+    /// returns [`SolveResult::Unknown`] with the solver *warm*: every
+    /// clause learnt so far is retained, `is_ok` is untouched, and a
+    /// follow-up call (same or different assumptions, bigger or no
+    /// budget) resumes the search rather than starting over. Exhaustions
+    /// are counted in [`SolverStats::budget_exhaustions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption refers to a variable not created with
+    /// [`Solver::new_var`].
+    pub fn solve_limited(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
         debug_assert_eq!(self.decision_level(), 0);
         for l in assumptions {
             assert!(
@@ -480,12 +584,13 @@ impl Solver {
         }
         self.max_learnts = (self.db.num_original as f64 / 3.0).max(1000.0);
 
+        let limits = ActiveLimits::from_budget(budget, &self.stats);
         let mut curr_restarts = 0u64;
         loop {
-            let budget = RESTART_BASE * luby(2, curr_restarts);
-            let status = self.search(budget, assumptions);
+            let restart_cap = RESTART_BASE * luby(2, curr_restarts);
+            let status = self.search(restart_cap, assumptions, &limits);
             match status {
-                LBool::True => {
+                SearchOutcome::Sat => {
                     for (v, &a) in self.assigns.iter().enumerate() {
                         self.model[v] = match a {
                             LBool::True => Some(true),
@@ -499,11 +604,11 @@ impl Solver {
                     self.cancel_until(0);
                     return SolveResult::Sat;
                 }
-                LBool::False => {
+                SearchOutcome::Unsat => {
                     self.cancel_until(0);
                     return SolveResult::Unsat;
                 }
-                LBool::Undef => {
+                SearchOutcome::Restart => {
                     curr_restarts += 1;
                     self.stats.restarts += 1;
                     self.cancel_until(0);
@@ -513,6 +618,11 @@ impl Solver {
                         assert!(errs.is_empty(), "solver audit failed at restart: {errs:#?}");
                     }
                 }
+                SearchOutcome::OutOfBudget => {
+                    self.cancel_until(0);
+                    self.stats.budget_exhaustions += 1;
+                    return SolveResult::Unknown;
+                }
             }
         }
     }
@@ -521,8 +631,14 @@ impl Solver {
     // Search
     // ------------------------------------------------------------------
 
-    /// Runs CDCL until SAT, UNSAT, or `max_conflicts` conflicts (restart).
-    fn search(&mut self, max_conflicts: u64, assumptions: &[Lit]) -> LBool {
+    /// Runs CDCL until SAT, UNSAT, `max_conflicts` conflicts (restart), or
+    /// a budget limit trips.
+    fn search(
+        &mut self,
+        max_conflicts: u64,
+        assumptions: &[Lit],
+        limits: &ActiveLimits,
+    ) -> SearchOutcome {
         let mut conflicts = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
@@ -533,7 +649,7 @@ impl Solver {
                     self.log_add(&[]);
                     self.release_xor_conflict();
                     self.ok = false;
-                    return LBool::False;
+                    return SearchOutcome::Unsat;
                 }
                 let (learnt, backtrack) = self.analyze(confl);
                 self.log_add(&learnt);
@@ -551,9 +667,15 @@ impl Solver {
                 }
                 self.var_inc /= VAR_DECAY;
                 self.cla_inc /= CLA_DECAY;
+                if limits.exhausted(&self.stats) {
+                    return SearchOutcome::OutOfBudget;
+                }
             } else {
+                if limits.exhausted(&self.stats) {
+                    return SearchOutcome::OutOfBudget;
+                }
                 if conflicts >= max_conflicts {
-                    return LBool::Undef; // restart
+                    return SearchOutcome::Restart;
                 }
                 if self.learnts.len() as f64 >= self.max_learnts {
                     self.reduce_db();
@@ -570,7 +692,7 @@ impl Solver {
                             // level ↔ assumption-index correspondence holds.
                             self.trail_lim.push(self.trail.len());
                         }
-                        LBool::False => return LBool::False,
+                        LBool::False => return SearchOutcome::Unsat,
                         LBool::Undef => {
                             next = Some(p);
                             break;
@@ -581,7 +703,7 @@ impl Solver {
                     Some(p) => p,
                     None => match self.pick_branch_lit() {
                         Some(p) => p,
-                        None => return LBool::True, // full assignment
+                        None => return SearchOutcome::Sat, // full assignment
                     },
                 };
                 self.stats.decisions += 1;
@@ -1634,5 +1756,95 @@ mod tests {
         let d1 = s.stats().decisions;
         s.solve();
         assert!(s.stats().decisions >= d1);
+    }
+
+    /// PHP(holes+1, holes): unsatisfiable with exponential resolution —
+    /// a reliable conflict generator for budget tests.
+    fn hard_unsat(holes: usize) -> Solver {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, holes + 1, holes);
+        s
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_and_solver_resumes() {
+        let mut s = hard_unsat(7);
+        let tight = Budget::new().with_conflicts(3);
+        assert_eq!(s.solve_limited(&[], &tight), SolveResult::Unknown);
+        assert_eq!(s.stats().budget_exhaustions, 1);
+        assert!(s.is_ok(), "Unknown must not poison the solver");
+        // The solver stays warm: an unlimited follow-up call finishes the
+        // job, keeping the clauses learnt under the budgeted call.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.stats().budget_exhaustions, 1);
+    }
+
+    #[test]
+    fn propagation_budget_trips() {
+        let mut s = hard_unsat(7);
+        let tight = Budget::new().with_propagations(5);
+        assert_eq!(s.solve_limited(&[], &tight), SolveResult::Unknown);
+        assert_eq!(s.stats().budget_exhaustions, 1);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_solve() {
+        let mut s = solver_with(3, &[&[1, 2], &[-1, 3], &[-3]]);
+        assert_eq!(s.solve_limited(&[], &Budget::new()), SolveResult::Sat);
+        assert_eq!(s.stats().budget_exhaustions, 0);
+    }
+
+    #[test]
+    fn budgeted_calls_accumulate_until_answer() {
+        // Drive the same instance through many tiny budgets; each call
+        // resumes from the previous one's learnt clauses and the total
+        // eventually refutes the formula.
+        let mut s = hard_unsat(5);
+        let slice = Budget::new().with_conflicts(8);
+        let mut rounds = 0u32;
+        loop {
+            match s.solve_limited(&[], &slice) {
+                SolveResult::Unknown => {
+                    rounds += 1;
+                    assert!(rounds < 10_000, "budgeted loop failed to converge");
+                }
+                r => {
+                    assert_eq!(r, SolveResult::Unsat);
+                    break;
+                }
+            }
+        }
+        assert!(rounds > 0, "PHP(6,5) should not finish in 8 conflicts");
+        assert_eq!(u64::from(rounds), s.stats().budget_exhaustions);
+    }
+
+    #[test]
+    fn budget_respects_assumptions_across_resume() {
+        // Unknown under assumptions must not leak the assumption into the
+        // solver: a later call with the opposite assumption still works.
+        let mut s = hard_unsat(6);
+        let a = Lit::from_dimacs(1);
+        let tight = Budget::new().with_conflicts(2);
+        assert_eq!(s.solve_limited(&[a], &tight), SolveResult::Unknown);
+        assert_eq!(s.solve_assuming(&[!a]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn learnt_clause_export_warm_starts_a_rebuild() {
+        let mut s = hard_unsat(5);
+        assert_eq!(
+            s.solve_limited(&[], &Budget::new().with_conflicts(50)),
+            SolveResult::Unknown
+        );
+        let learnt = s.learnt_clauses();
+        assert!(!learnt.is_empty(), "50 conflicts should leave learnts");
+        // Re-adding exported learnts to a fresh solver over the same
+        // formula is sound: the answer is unchanged.
+        let mut fresh = hard_unsat(5);
+        for c in &learnt {
+            fresh.add_clause(c);
+        }
+        assert_eq!(fresh.solve(), SolveResult::Unsat);
     }
 }

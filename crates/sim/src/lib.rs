@@ -19,7 +19,11 @@
 //! * [`ScanChip`] / [`WidePackedScanChip`] — load / capture / unload test
 //!   access, no obfuscation, scalar and lane-parallel;
 //! * [`ScanAccess`] — the oracle interface shared by unlocked and locked
-//!   chips (the attack only ever talks to this trait).
+//!   chips (the attack only ever talks to this trait);
+//! * [`FaultyOracle`] / [`FallibleScanAccess`] — seeded fault injection
+//!   (bit flips, transient errors, dropped sessions, latency) over any
+//!   honest oracle, and the fallible interface fault-tolerant attack
+//!   code consumes ([`Reliable`] lifts a trustworthy oracle into it).
 //!
 //! The scalar paths are the differential-test references for every
 //! packed width and thread count; see DESIGN.md §5 for the data layout
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod comb;
+mod faulty;
 mod lane;
 mod oracle;
 mod packed;
@@ -51,6 +56,7 @@ mod scan;
 mod seq;
 
 pub use comb::Evaluator;
+pub use faulty::{FallibleScanAccess, FaultSpec, FaultyOracle, FaultyStats, OracleFault, Reliable};
 pub use lane::{LaneWord, W256};
 pub use oracle::{check_session_freshness, FreshnessViolation, ScanAccess, ScanResponse};
 pub use packed::{

@@ -47,16 +47,54 @@ pub trait ScanAccess {
     }
 }
 
-/// Evidence that a [`ScanAccess`] implementation leaks state across
-/// sessions, found by [`check_session_freshness`].
+impl<O: ScanAccess + ?Sized> ScanAccess for &mut O {
+    fn num_cells(&self) -> usize {
+        (**self).num_cells()
+    }
+
+    fn num_pis(&self) -> usize {
+        (**self).num_pis()
+    }
+
+    fn num_pos(&self) -> usize {
+        (**self).num_pos()
+    }
+
+    fn query_captures(&mut self, pattern: &[bool], pis: &[bool], captures: usize) -> ScanResponse {
+        (**self).query_captures(pattern, pis, captures)
+    }
+}
+
+/// Evidence that a [`ScanAccess`] implementation broke the session
+/// contract, found by [`check_session_freshness`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FreshnessViolation {
-    /// Index (into the probe set) of the query whose repeat diverged.
-    pub probe: usize,
-    /// Response seen the first time the probe ran.
-    pub first: ScanResponse,
-    /// Response seen when the probe was replayed later.
-    pub replay: ScanResponse,
+#[non_exhaustive]
+pub enum FreshnessViolation {
+    /// An *immediate* repeat of a query disagreed with its first run:
+    /// the oracle is non-deterministic (noisy scan-out, or a session
+    /// reset that does not actually restart the key schedule). Caught
+    /// with no intervening traffic, so no cross-session state can be
+    /// blamed.
+    NonDeterministic {
+        /// Index (into the probe set) of the query that diverged.
+        probe: usize,
+        /// Response seen the first time the probe ran.
+        first: ScanResponse,
+        /// Response seen when the probe was immediately repeated.
+        repeat: ScanResponse,
+    },
+    /// A replay *after intervening decoy traffic* disagreed with its
+    /// first run, while immediate repeats agreed: state leaks across
+    /// sessions (e.g. an on-chip LFSR that keeps free-running instead of
+    /// power-on resetting).
+    StaleState {
+        /// Index (into the probe set) of the query whose replay diverged.
+        probe: usize,
+        /// Response seen the first time the probe ran.
+        first: ScanResponse,
+        /// Response seen when the probe was replayed later.
+        replay: ScanResponse,
+    },
 }
 
 /// Checks the session contract every `ScanAccess` implementation must
@@ -64,10 +102,15 @@ pub struct FreshnessViolation {
 /// return identical responses *no matter what ran in between* (any
 /// on-chip PRNG must power-on reset).
 ///
-/// Runs `probes` random sessions, then replays them in reverse order with
-/// decoy queries interleaved; a chip whose key schedule drifts across
-/// sessions (e.g. an LFSR that keeps free-running) is caught by the first
-/// diverging replay. The probe set is deterministic in `rng_seed`.
+/// Two passes, both deterministic in `rng_seed`. First, each of `probes`
+/// random sessions is run twice back-to-back; any disagreement is flagged
+/// as [`FreshnessViolation::NonDeterministic`] — this is what catches
+/// noisy or fault-injected oracles, which a pure replay check would
+/// misattribute to state leakage. Second, the probes are replayed in
+/// reverse order with decoy queries interleaved; a chip whose key
+/// schedule drifts across sessions (e.g. an LFSR that keeps free-running)
+/// is caught by the first diverging replay and flagged as
+/// [`FreshnessViolation::StaleState`].
 ///
 /// The DynUnlock model is *built* on this contract — it is what collapses
 /// a dynamically keyed lock into fixed affine masks — so the conformance
@@ -91,10 +134,19 @@ pub fn check_session_freshness<O: ScanAccess>(
         (pattern, pi_vals, captures)
     };
     let sessions: Vec<_> = (0..probes).map(|_| random_session(&mut rng)).collect();
-    let firsts: Vec<ScanResponse> = sessions
-        .iter()
-        .map(|(pat, pi, c)| oracle.query_captures(pat, pi, *c))
-        .collect();
+    let mut firsts: Vec<ScanResponse> = Vec::with_capacity(probes);
+    for (probe, (pat, pi, c)) in sessions.iter().enumerate() {
+        let first = oracle.query_captures(pat, pi, *c);
+        let repeat = oracle.query_captures(pat, pi, *c);
+        if repeat != first {
+            return Err(FreshnessViolation::NonDeterministic {
+                probe,
+                first,
+                repeat,
+            });
+        }
+        firsts.push(first);
+    }
     for (probe, ((pat, pi, c), first)) in sessions.iter().zip(firsts).enumerate().rev() {
         // Decoy traffic between first run and replay: state leaking out of
         // any earlier session shifts the chip's schedule and shows up here.
@@ -102,7 +154,7 @@ pub fn check_session_freshness<O: ScanAccess>(
         oracle.query_captures(&dpat, &dpi, dc);
         let replay = oracle.query_captures(pat, pi, *c);
         if replay != first {
-            return Err(FreshnessViolation {
+            return Err(FreshnessViolation::StaleState {
                 probe,
                 first,
                 replay,

@@ -25,6 +25,7 @@ use crate::lane::{LaneWord, W256};
 
 /// Why a set of patterns cannot be packed into lane words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PackError {
     /// More patterns than the lane word has lanes.
     TooManyPatterns {

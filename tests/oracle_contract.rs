@@ -14,7 +14,8 @@ use dynunlock_repro::lfsr::{Lfsr, TapSet};
 use dynunlock_repro::netlist::generator::{s208_like, GeneratorConfig};
 use dynunlock_repro::scanlock::{LockSpec, LockedScanChip};
 use dynunlock_repro::sim::{
-    check_session_freshness, ScanAccess, ScanChain, ScanChip, ScanResponse,
+    check_session_freshness, FallibleScanAccess, FaultSpec, FaultyOracle, FreshnessViolation,
+    ScanAccess, ScanChain, ScanChip, ScanResponse,
 };
 
 #[test]
@@ -79,9 +80,108 @@ fn freshness_checker_catches_a_leaky_oracle() {
     };
     let violation = check_session_freshness(&mut leaky, 8, 7)
         .expect_err("a non-resetting key stream must be detected");
-    assert_ne!(
-        violation.first, violation.replay,
-        "the violation carries the diverging evidence"
+    // A key stream that advances on *every* query already breaks the
+    // immediate-repeat pass, so this chip is reported as non-deterministic
+    // (the stale-state pass never even runs). Either way the violation
+    // must carry diverging evidence.
+    match violation {
+        FreshnessViolation::NonDeterministic { first, repeat, .. } => assert_ne!(first, repeat),
+        FreshnessViolation::StaleState { first, replay, .. } => assert_ne!(first, replay),
+        other => panic!("unexpected violation kind: {other:?}"),
+    }
+}
+
+/// A chip that leaks state *only across sessions*: the key stream advances
+/// once per query, but an immediate repeat replays the same key — so the
+/// repeat pass agrees and only the decoy-separated replay diverges.
+struct SlowLeakChip<'c> {
+    inner: ScanChip<'c>,
+    lfsr: Lfsr,
+    last_pattern: Option<Vec<bool>>,
+}
+
+impl ScanAccess for SlowLeakChip<'_> {
+    fn num_cells(&self) -> usize {
+        self.inner.num_cells()
+    }
+    fn num_pis(&self) -> usize {
+        self.inner.num_pis()
+    }
+    fn num_pos(&self) -> usize {
+        self.inner.num_pos()
+    }
+    fn query_captures(&mut self, pattern: &[bool], pis: &[bool], captures: usize) -> ScanResponse {
+        // The key stream advances only when the stimulus *changes*, so an
+        // immediate repeat replays the same key (deterministic), while a
+        // replay after intervening decoy traffic sees a drifted key.
+        if self.last_pattern.as_deref() != Some(pattern) {
+            self.lfsr.step();
+            self.last_pattern = Some(pattern.to_vec());
+        }
+        let mut resp = self.inner.query_captures(pattern, pis, captures);
+        for bit in &mut resp.scan_out {
+            *bit ^= self.lfsr.bit(0);
+        }
+        resp
+    }
+}
+
+#[test]
+fn freshness_checker_distinguishes_stale_state_from_noise() {
+    let c = s208_like();
+    let taps = TapSet::maximal(8).unwrap();
+    let mut chip = SlowLeakChip {
+        inner: ScanChip::new(&c, ScanChain::natural(c.num_dffs())),
+        lfsr: Lfsr::new(taps, BitVec::from_u64(8, 0x5D)),
+        last_pattern: None,
+    };
+    // Immediate repeats replay the same key, so pass 1 cannot see the
+    // drift; only the decoy-separated replay of pass 2 can.
+    let violation = check_session_freshness(&mut chip, 8, 7)
+        .expect_err("cross-session key drift must be detected");
+    assert!(
+        matches!(violation, FreshnessViolation::StaleState { .. }),
+        "drift that survives immediate repeats is stale state, got {violation:?}"
+    );
+}
+
+/// A noisy (bit-flipping) oracle must be reported as non-deterministic —
+/// not misattributed to cross-session state leakage.
+struct NoisyAdapter<'c> {
+    faulty: FaultyOracle<ScanChip<'c>>,
+}
+
+impl ScanAccess for NoisyAdapter<'_> {
+    fn num_cells(&self) -> usize {
+        self.faulty.inner().num_cells()
+    }
+    fn num_pis(&self) -> usize {
+        self.faulty.inner().num_pis()
+    }
+    fn num_pos(&self) -> usize {
+        self.faulty.inner().num_pos()
+    }
+    fn query_captures(&mut self, pattern: &[bool], pis: &[bool], captures: usize) -> ScanResponse {
+        // Faults other than bit flips are off in this spec, so the query
+        // cannot fail; flatten the fallible interface for the checker.
+        self.faulty
+            .try_query_captures(pattern, pis, captures)
+            .expect("only bit-flip faults are enabled")
+    }
+}
+
+#[test]
+fn freshness_checker_flags_a_noisy_oracle_as_non_deterministic() {
+    let c = s208_like();
+    let inner = ScanChip::new(&c, ScanChain::natural(c.num_dffs()));
+    let mut noisy = NoisyAdapter {
+        faulty: FaultyOracle::new(inner, FaultSpec::new(0x7E57).with_bit_flips(100_000)),
+    };
+    let violation = check_session_freshness(&mut noisy, 16, 0xF1A6)
+        .expect_err("a 10% bit-flip rate cannot survive 16 repeated probes");
+    assert!(
+        matches!(violation, FreshnessViolation::NonDeterministic { .. }),
+        "noise is non-determinism, not stale state, got {violation:?}"
     );
 }
 

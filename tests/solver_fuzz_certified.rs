@@ -12,7 +12,7 @@
 use dynunlock_repro::gf2::{Rng64, Xoshiro256};
 use dynunlock_repro::proofcheck;
 use dynunlock_repro::satsolver::dimacs::Cnf;
-use dynunlock_repro::satsolver::{DratProof, Lit, SolveResult, Solver, Var};
+use dynunlock_repro::satsolver::{Budget, DratProof, Lit, SolveResult, Solver, Var};
 
 fn random_cnf(rng: &mut Xoshiro256) -> Cnf {
     let num_vars = 4 + rng.gen_range(12) as usize;
@@ -95,13 +95,40 @@ fn random_instances_audit_clean_and_certify() {
             assert_audit_clean(&s, round, "assumption solve");
         }
 
+        // A starved budgeted solve next: whatever it answers, the solver
+        // must stay warm and auditable, and a definite answer must agree
+        // with the final unlimited solve below.
+        let budgeted = if unsat {
+            SolveResult::Unsat
+        } else {
+            let tiny = Budget::new().with_conflicts(1 + rng.gen_range(3));
+            let r = s.solve_limited(&[], &tiny);
+            assert_audit_clean(&s, round, "budgeted solve");
+            if r == SolveResult::Unknown {
+                assert!(
+                    s.stats().budget_exhaustions > 0,
+                    "round {round}: Unknown without a recorded exhaustion"
+                );
+            }
+            r
+        };
+
         let result = if unsat { SolveResult::Unsat } else { s.solve() };
         assert_audit_clean(&s, round, "final solve");
+        if budgeted != SolveResult::Unknown {
+            assert_eq!(
+                budgeted, result,
+                "round {round}: budgeted answer must match the full solve"
+            );
+        }
         drop(s);
 
         match result {
             SolveResult::Sat => {
                 sat_rounds += 1;
+            }
+            SolveResult::Unknown => {
+                unreachable!("round {round}: unlimited solve cannot return Unknown");
             }
             SolveResult::Unsat => {
                 unsat_rounds += 1;
